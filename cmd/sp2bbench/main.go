@@ -1,0 +1,137 @@
+// Command sp2bbench runs the SP2Bench measurement protocol and prints the
+// paper's tables and figures.
+//
+// Usage:
+//
+//	sp2bbench                                # full protocol, all tables
+//	sp2bbench -experiment table5             # one experiment
+//	sp2bbench -scales 10k,50k,250k           # restrict document sizes
+//	sp2bbench -timeout 30m -runs 3           # the paper's full protocol
+//	sp2bbench -experiment ablation           # optimizer ablations
+//	sp2bbench -experiment fig2b -gen 1000000 # generator distributions
+//
+// Experiments: all, table3, table4, table5, table6, table7, table8,
+// table9, fig2a, fig2b, fig2c, figures, loading, ablation, shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"sp2bench/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "which experiment to run")
+		scales     = flag.String("scales", "10k,50k,250k,1M", "comma-separated scales (10k,50k,250k,1M,5M,25M)")
+		timeout    = flag.Duration("timeout", 15*time.Second, "per-query timeout (paper: 30m)")
+		runs       = flag.Int("runs", 1, "measured runs per cell (paper: 3)")
+		seed       = flag.Uint64("seed", 1, "generator seed")
+		memLimit   = flag.Uint64("memlimit", 0, "heap limit in bytes (0 = off)")
+		workdir    = flag.String("workdir", "", "directory caching generated documents")
+		genSize    = flag.Int64("gen", 1_000_000, "triple count for generator experiments (fig2*, table9)")
+		quiet      = flag.Bool("quiet", false, "suppress progress output")
+		figdata    = flag.String("figdata", "", "also write gnuplot-ready per-query .dat files into this directory")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Timeout = *timeout
+	cfg.Runs = *runs
+	cfg.Seed = *seed
+	cfg.MemLimitBytes = *memLimit
+	cfg.WorkDir = *workdir
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	var err error
+	cfg.Scales, err = harness.ParseScales(*scales)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *experiment {
+	case "fig2a", "fig2b", "fig2c", "table9":
+		stats, err := harness.GeneratorExperiment(*genSize, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		switch *experiment {
+		case "fig2a":
+			harness.RenderFigure2a(os.Stdout, stats)
+		case "fig2b":
+			harness.RenderFigure2b(os.Stdout, stats)
+		case "fig2c":
+			harness.RenderFigure2c(os.Stdout, stats, []int{1955, 1965, 1975, 1985, 1995, 2005})
+		case "table9":
+			harness.RenderTableIX(os.Stdout, stats)
+		}
+		return
+	case "ablation":
+		cfg.Engines = harness.AblationEngines()
+	}
+
+	runner, err := harness.NewRunner(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := runner.Run()
+	if err != nil {
+		fatal(err)
+	}
+	rep.SortRuns()
+	if *figdata != "" {
+		files, err := rep.WriteFigureData(*figdata)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d figure data files to %s\n", len(files), *figdata)
+	}
+
+	switch *experiment {
+	case "all":
+		rep.RenderAll(os.Stdout)
+		if v := rep.CheckShapes(); len(v) > 0 {
+			fmt.Println("shape violations:")
+			for _, s := range v {
+				fmt.Printf("  %s @ %s: %s\n", s.Query, s.Scale, s.Msg)
+			}
+		} else {
+			fmt.Println("all paper shape expectations hold")
+		}
+	case "table3":
+		rep.RenderTableIII(os.Stdout)
+	case "table4":
+		rep.RenderTableIV(os.Stdout)
+	case "table5":
+		rep.RenderTableV(os.Stdout)
+	case "table6":
+		rep.RenderMeans(os.Stdout, "mem")
+	case "table7":
+		rep.RenderMeans(os.Stdout, "native")
+	case "table8":
+		rep.RenderTableVIII(os.Stdout)
+	case "loading":
+		rep.RenderLoading(os.Stdout)
+	case "figures", "ablation":
+		rep.RenderPerQuery(os.Stdout)
+	case "shapes":
+		if v := rep.CheckShapes(); len(v) > 0 {
+			for _, s := range v {
+				fmt.Printf("%s @ %s: %s\n", s.Query, s.Scale, s.Msg)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("all paper shape expectations hold")
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sp2bbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,160 @@
+// Command sp2bquery evaluates SPARQL queries against a generated
+// document.
+//
+// Usage:
+//
+//	sp2bquery -d doc.nt -id q8                  # run benchmark query Q8
+//	sp2bquery -d doc.nt -q my.sparql            # run a query from a file
+//	sp2bquery -d doc.nt -id q4 -engine mem      # use the in-memory engine
+//	sp2bquery -d doc.nt -id q2 -count           # print only the count
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"sp2bench/internal/core"
+	"sp2bench/internal/engine"
+	"sp2bench/internal/queries"
+	"sp2bench/internal/sparql"
+)
+
+func main() {
+	var (
+		data      = flag.String("d", "", "N-Triples document (required)")
+		queryFile = flag.String("q", "", "file containing a SPARQL query")
+		queryID   = flag.String("id", "", "benchmark query id (q1..q12c)")
+		engName   = flag.String("engine", "native", "engine: native or mem")
+		timeout   = flag.Duration("timeout", 5*time.Minute, "query timeout")
+		countOnly = flag.Bool("count", false, "print only the result count")
+		explain   = flag.Bool("explain", false, "print the physical plan")
+		maxRows   = flag.Int("max", 100, "maximum rows to print (0 = all)")
+	)
+	flag.Parse()
+
+	if *data == "" || (*queryFile == "" && *queryID == "") {
+		fmt.Fprintln(os.Stderr, "sp2bquery: need -d <doc.nt> and one of -q <file> / -id <qid>")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var opts engine.Options
+	switch *engName {
+	case "native":
+		opts = core.Native()
+	case "mem":
+		opts = core.Mem()
+	default:
+		fatal(fmt.Errorf("unknown engine %q (want native or mem)", *engName))
+	}
+
+	text, err := queryText(*queryFile, *queryID)
+	if err != nil {
+		fatal(err)
+	}
+
+	loadStart := time.Now()
+	db, err := core.OpenFile(*data, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %d triples in %v\n", db.Len(), time.Since(loadStart).Round(time.Millisecond))
+
+	if *explain {
+		q, err := sparql.Parse(text, queries.Prologue)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := db.Engine().Explain(q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(os.Stderr, plan)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	parsed, err := sparql.Parse(text, queries.Prologue)
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	if *countOnly {
+		n, err := db.Engine().Count(ctx, parsed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d results in %v\n", n, time.Since(start).Round(time.Microsecond))
+		return
+	}
+	res, graph, err := db.Engine().Eval(ctx, parsed)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	if graph != nil {
+		for i, tr := range graph {
+			if *maxRows > 0 && i >= *maxRows {
+				fmt.Printf("... (%d more triples)\n", len(graph)-*maxRows)
+				break
+			}
+			fmt.Println(tr.String())
+		}
+		fmt.Fprintf(os.Stderr, "%d triples in %v\n", len(graph), elapsed.Round(time.Microsecond))
+		return
+	}
+	printResult(res, *maxRows)
+	fmt.Fprintf(os.Stderr, "%d results in %v\n", res.Len(), elapsed.Round(time.Microsecond))
+}
+
+func queryText(file, id string) (string, error) {
+	if file != "" {
+		b, err := os.ReadFile(file)
+		if err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	q, ok := queries.ByID(strings.ToLower(id))
+	if !ok {
+		return "", fmt.Errorf("unknown benchmark query %q (want q1..q12c)", id)
+	}
+	return q.Text, nil
+}
+
+func printResult(res *engine.Result, maxRows int) {
+	if res.Form.String() == "ASK" {
+		if res.Ask {
+			fmt.Println("yes")
+		} else {
+			fmt.Println("no")
+		}
+		return
+	}
+	fmt.Println(strings.Join(res.Vars, "\t"))
+	for i, row := range res.Rows {
+		if maxRows > 0 && i >= maxRows {
+			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
+			return
+		}
+		cells := make([]string, len(row))
+		for j, t := range row {
+			if t.IsZero() {
+				cells[j] = "(unbound)"
+			} else {
+				cells[j] = t.String()
+			}
+		}
+		fmt.Println(strings.Join(cells, "\t"))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sp2bquery:", err)
+	os.Exit(1)
+}

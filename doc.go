@@ -1,0 +1,13 @@
+// Package sp2bench is a from-scratch Go reproduction of "SP²Bench: A
+// SPARQL Performance Benchmark" (Schmidt, Hornung, Lausen, Pinkel;
+// ICDE 2009): the DBLP-like RDF data generator, the 17 benchmark queries,
+// the measurement protocol, and the substrates they need — an RDF data
+// model and N-Triples codec, an indexed triple store, a SPARQL 1.0 parser
+// and algebra, and two query engine configurations standing in for the
+// paper's in-memory and native engine families.
+//
+// The implementation lives under internal/; cmd/ holds the sp2bgen,
+// sp2bquery and sp2bbench executables; examples/ holds runnable
+// walk-throughs; bench_test.go regenerates every table and figure of the
+// paper's evaluation section as Go benchmarks.
+package sp2bench

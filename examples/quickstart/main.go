@@ -1,0 +1,63 @@
+// Quickstart: generate a small DBLP-like document, load it into the
+// native engine, and run the first benchmark query plus a custom one.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+
+	"sp2bench/internal/core"
+)
+
+func main() {
+	// 1. Generate a 50k-triple DBLP-like document in memory. Generation
+	// is deterministic: the same parameters always produce the same
+	// document, on any platform.
+	var doc bytes.Buffer
+	stats, err := core.Generate(&doc, core.GeneratorParams(50_000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d triples (%.1f MB), data up to year %d\n",
+		stats.Triples, float64(stats.Bytes)/1e6, stats.EndYear)
+	fmt.Printf("%d articles, %d inproceedings, %d distinct authors\n\n",
+		stats.ClassCounts[0], stats.ClassCounts[1], stats.DistinctAuthors)
+
+	// 2. Load it into a store with the native (indexed) engine.
+	db, err := core.OpenReader(&doc, core.Native())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// 3. Run benchmark query Q1: the year of publication of
+	// "Journal 1 (1940)". It returns exactly one row at every scale.
+	res, err := db.Benchmark(ctx, "q1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q1 (%d row): Journal 1 (1940) was issued in %s\n",
+		res.Len(), res.Rows[0][0].Value)
+
+	// 4. Run a custom query: the titles of the five lexicographically
+	// first conferences. The standard SP2Bench prefixes (rdf, bench, dc,
+	// ...) are pre-declared.
+	res, err = db.Query(ctx, `
+		SELECT ?title
+		WHERE {
+			?proc rdf:type bench:Proceedings .
+			?proc dc:title ?title
+		}
+		ORDER BY ?title LIMIT 5`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nfirst five conferences by title:")
+	for _, row := range res.Rows {
+		fmt.Println("  ", row[0].Value)
+	}
+}

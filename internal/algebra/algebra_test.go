@@ -1,0 +1,369 @@
+package algebra
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/sparql"
+)
+
+func translate(t *testing.T, src string) Node {
+	t.Helper()
+	q, err := sparql.Parse(src, rdf.Prefixes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Translate(q)
+}
+
+func TestTranslateSimpleSelect(t *testing.T) {
+	n := translate(t, `SELECT ?x WHERE { ?x a bench:Article }`)
+	proj, ok := n.(*ProjectNode)
+	if !ok {
+		t.Fatalf("root is %T, want *ProjectNode", n)
+	}
+	if _, ok := proj.Input.(*BGPNode); !ok {
+		t.Fatalf("input is %T, want *BGPNode", proj.Input)
+	}
+}
+
+func TestTranslateModifierOrder(t *testing.T) {
+	// SPARQL 1.0 modifier order: Order inside Project inside Distinct
+	// inside Slice.
+	n := translate(t, `SELECT DISTINCT ?x WHERE { ?x ?p ?o } ORDER BY ?x LIMIT 5 OFFSET 2`)
+	slice, ok := n.(*SliceNode)
+	if !ok {
+		t.Fatalf("root is %T, want *SliceNode", n)
+	}
+	if slice.Limit != 5 || slice.Offset != 2 {
+		t.Fatalf("slice = %+v", slice)
+	}
+	dist, ok := slice.Input.(*DistinctNode)
+	if !ok {
+		t.Fatalf("slice input is %T, want *DistinctNode", slice.Input)
+	}
+	proj, ok := dist.Input.(*ProjectNode)
+	if !ok {
+		t.Fatalf("distinct input is %T, want *ProjectNode", dist.Input)
+	}
+	if _, ok := proj.Input.(*OrderNode); !ok {
+		t.Fatalf("project input is %T, want *OrderNode", proj.Input)
+	}
+}
+
+func TestTranslateAskHasNoProjection(t *testing.T) {
+	n := translate(t, `ASK { ?x a foaf:Person }`)
+	if _, ok := n.(*ProjectNode); ok {
+		t.Fatal("ASK plans must not project")
+	}
+}
+
+// TestTranslateOptionalFilterBecomesCondition pins the rule Q6 and Q7
+// depend on: a FILTER directly inside an OPTIONAL group becomes the
+// LeftJoin condition rather than an inner filter.
+func TestTranslateOptionalFilterBecomesCondition(t *testing.T) {
+	n := translate(t, `SELECT ?x WHERE {
+		?x a bench:Article
+		OPTIONAL { ?y a bench:Article FILTER (?x = ?y) }
+	}`)
+	proj := n.(*ProjectNode)
+	lj, ok := proj.Input.(*LeftJoinNode)
+	if !ok {
+		t.Fatalf("input is %T, want *LeftJoinNode", proj.Input)
+	}
+	if lj.Cond == nil {
+		t.Fatal("OPTIONAL's FILTER must become the LeftJoin condition")
+	}
+	if _, ok := lj.Right.(*FilterNode); ok {
+		t.Fatal("OPTIONAL's FILTER must not remain an inner FilterNode")
+	}
+}
+
+func TestTranslateNestedOptionals(t *testing.T) {
+	// The Q7 shape: OPTIONAL inside OPTIONAL, each with a !bound filter.
+	n := translate(t, `SELECT ?t WHERE {
+		?d dc:title ?t
+		OPTIONAL {
+			?d2 dcterms:references ?b
+			OPTIONAL { ?d3 dcterms:references ?b3 }
+			FILTER (!bound(?d3))
+		}
+		FILTER (!bound(?d2))
+	}`)
+	proj := n.(*ProjectNode)
+	outerFilter, ok := proj.Input.(*FilterNode)
+	if !ok {
+		t.Fatalf("outer group filter missing: %T", proj.Input)
+	}
+	lj, ok := outerFilter.Input.(*LeftJoinNode)
+	if !ok {
+		t.Fatalf("expected LeftJoin below filter, got %T", outerFilter.Input)
+	}
+	if lj.Cond == nil {
+		t.Fatal("inner !bound filter must be the outer LeftJoin's condition")
+	}
+	if _, ok := lj.Right.(*LeftJoinNode); !ok {
+		t.Fatalf("nested OPTIONAL must produce a nested LeftJoin, got %T", lj.Right)
+	}
+}
+
+func TestTranslateUnion(t *testing.T) {
+	n := translate(t, `SELECT ?p WHERE {
+		?p a foaf:Person .
+		{ ?s ?pr ?p } UNION { ?p ?pr ?o }
+	}`)
+	proj := n.(*ProjectNode)
+	join, ok := proj.Input.(*JoinNode)
+	if !ok {
+		t.Fatalf("input is %T, want *JoinNode", proj.Input)
+	}
+	if _, ok := join.Right.(*UnionNode); !ok {
+		t.Fatalf("join right is %T, want *UnionNode", join.Right)
+	}
+}
+
+func TestTranslateGroupFiltersWrapGroup(t *testing.T) {
+	n := translate(t, `SELECT ?x WHERE { ?x dcterms:issued ?yr FILTER (?yr < 1950) }`)
+	proj := n.(*ProjectNode)
+	f, ok := proj.Input.(*FilterNode)
+	if !ok {
+		t.Fatalf("input is %T, want *FilterNode", proj.Input)
+	}
+	if _, ok := f.Input.(*BGPNode); !ok {
+		t.Fatal("filter must wrap the BGP")
+	}
+}
+
+func TestVarsPropagation(t *testing.T) {
+	n := translate(t, `SELECT ?a ?b WHERE {
+		?a dc:creator ?b
+		OPTIONAL { ?b foaf:name ?n }
+	}`)
+	vars := n.Vars()
+	if len(vars) != 2 || vars[0] != "a" || vars[1] != "b" {
+		t.Fatalf("projected vars = %v", vars)
+	}
+	proj := n.(*ProjectNode)
+	inner := proj.Input.Vars()
+	want := "a b n"
+	if strings.Join(inner, " ") != want {
+		t.Fatalf("leftjoin vars = %v, want %s", inner, want)
+	}
+}
+
+func TestNodeStringsDoNotPanic(t *testing.T) {
+	n := translate(t, `SELECT DISTINCT ?x WHERE {
+		{ ?x ?p ?o } UNION { ?o ?p ?x }
+		OPTIONAL { ?x foaf:name ?n FILTER (?n != "z") }
+		FILTER (bound(?x))
+	} ORDER BY DESC(?x) LIMIT 1 OFFSET 1`)
+	s := n.String()
+	for _, frag := range []string{"Union", "LeftJoin", "Filter", "Project", "Distinct", "Order", "Slice"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("plan rendering missing %q: %s", frag, s)
+		}
+	}
+}
+
+// --- expression evaluation ---
+
+type mapBinding map[string]rdf.Term
+
+func (m mapBinding) Value(name string) (rdf.Term, bool) {
+	t, ok := m[name]
+	return t, ok
+}
+
+func expr(t *testing.T, s string) sparql.Expr {
+	t.Helper()
+	q, err := sparql.Parse("SELECT ?x WHERE { ?x ?p ?o FILTER ("+s+") }", rdf.Prefixes)
+	if err != nil {
+		t.Fatalf("filter %q: %v", s, err)
+	}
+	return q.Where.Filters[0]
+}
+
+func TestEvalComparisons(t *testing.T) {
+	b := mapBinding{
+		"i1":   rdf.Integer(5),
+		"i2":   rdf.Integer(10),
+		"s1":   rdf.String("alpha"),
+		"s2":   rdf.String("beta"),
+		"iri1": rdf.IRI("http://x/a"),
+		"iri2": rdf.IRI("http://x/b"),
+		"bn":   rdf.Blank("b0"),
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"?i1 < ?i2", true},
+		{"?i2 < ?i1", false},
+		{"?i1 <= ?i1", true},
+		{"?i2 >= ?i2", true},
+		{"?i2 > ?i1", true},
+		{"?i1 = ?i1", true},
+		{"?i1 != ?i2", true},
+		{"?s1 < ?s2", true},
+		{"?s1 = ?s1", true},
+		{"?s1 != ?s2", true},
+		{"?iri1 = ?iri1", true},
+		{"?iri1 != ?iri2", true},
+		{"?bn = ?bn", true},
+		{"?i1 < 7", true},
+		{"?i1 = 5", true},
+		{`?s1 = "alpha"^^xsd:string`, true},
+		{"?i1 < 4.9", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			got, err := EvalBool(expr(t, tc.src), b)
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if got != tc.want {
+				t.Errorf("= %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvalTypeErrors(t *testing.T) {
+	b := mapBinding{
+		"iri": rdf.IRI("http://x/a"),
+		"i":   rdf.Integer(5),
+		"s":   rdf.String("x"),
+	}
+	for _, src := range []string{
+		"?iri < ?i",    // ordering undefined on IRIs
+		"?unbound = 1", // unbound variable
+		"?s < ?i",      // string vs numeric ordering
+	} {
+		t.Run(src, func(t *testing.T) {
+			_, err := EvalBool(expr(t, src), b)
+			if !errors.Is(err, ErrType) {
+				t.Errorf("err = %v, want ErrType", err)
+			}
+		})
+	}
+}
+
+func TestEvalBound(t *testing.T) {
+	b := mapBinding{"x": rdf.Integer(1)}
+	if got, err := EvalBool(expr(t, "bound(?x)"), b); err != nil || !got {
+		t.Errorf("bound(?x) = %v, %v", got, err)
+	}
+	if got, err := EvalBool(expr(t, "bound(?y)"), b); err != nil || got {
+		t.Errorf("bound(?y) = %v, %v", got, err)
+	}
+	if got, err := EvalBool(expr(t, "!bound(?y)"), b); err != nil || !got {
+		t.Errorf("!bound(?y) = %v, %v", got, err)
+	}
+}
+
+// TestEvalErrorAbsorption pins the SPARQL three-valued logic: || and &&
+// absorb errors when the other operand decides the outcome.
+func TestEvalErrorAbsorption(t *testing.T) {
+	b := mapBinding{"x": rdf.Integer(1)}
+	cases := []struct {
+		src     string
+		want    bool
+		wantErr bool
+	}{
+		{"?x = 1 || ?u = 1", true, false},  // true || error = true
+		{"?u = 1 || ?x = 1", true, false},  // error || true = true
+		{"?x = 2 || ?u = 1", false, true},  // false || error = error
+		{"?u = 1 || ?u = 2", false, true},  // error || error = error
+		{"?x = 2 && ?u = 1", false, false}, // false && error = false
+		{"?u = 1 && ?x = 2", false, false}, // error && false = false
+		{"?x = 1 && ?u = 1", false, true},  // true && error = error
+		{"?u = 1 && ?u = 2", false, true},  // error && error = error
+	}
+	for _, tc := range cases {
+		t.Run(tc.src, func(t *testing.T) {
+			got, err := EvalBool(expr(t, tc.src), b)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("expected error, got %v", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error %v", err)
+			}
+			if got != tc.want {
+				t.Errorf("= %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestEvalNot(t *testing.T) {
+	b := mapBinding{"x": rdf.Integer(1)}
+	if got, _ := EvalBool(expr(t, "!(?x = 2)"), b); !got {
+		t.Error("!(false) must be true")
+	}
+	if _, err := EvalBool(expr(t, "!(?u = 1)"), b); !errors.Is(err, ErrType) {
+		t.Error("!(error) must be error")
+	}
+}
+
+func TestEBV(t *testing.T) {
+	cases := []struct {
+		v       Value
+		want    bool
+		wantErr bool
+	}{
+		{BoolValue(true), true, false},
+		{BoolValue(false), false, false},
+		{TermValue(rdf.Literal("")), false, false},
+		{TermValue(rdf.Literal("x")), true, false},
+		{TermValue(rdf.String("")), false, false},
+		{TermValue(rdf.Integer(0)), false, false},
+		{TermValue(rdf.Integer(3)), true, false},
+		{TermValue(rdf.TypedLiteral("true", rdf.XSDBoolean)), true, false},
+		{TermValue(rdf.TypedLiteral("false", rdf.XSDBoolean)), false, false},
+		{TermValue(rdf.IRI("http://x")), false, true},
+		{TermValue(rdf.Blank("b")), false, true},
+		{TermValue(rdf.TypedLiteral("z", "http://unknown/dt")), false, true},
+	}
+	for _, tc := range cases {
+		got, err := tc.v.EBV()
+		if (err != nil) != tc.wantErr {
+			t.Errorf("EBV(%v) err = %v, wantErr %v", tc.v, err, tc.wantErr)
+			continue
+		}
+		if err == nil && got != tc.want {
+			t.Errorf("EBV(%v) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestNumericCrossTypeEquality(t *testing.T) {
+	b := mapBinding{
+		"int": rdf.Integer(5),
+		"dec": rdf.TypedLiteral("5.0", rdf.XSDDecimal),
+	}
+	got, err := EvalBool(expr(t, "?int = ?dec"), b)
+	if err != nil || !got {
+		t.Errorf("5 = 5.0 across numeric types: %v, %v", got, err)
+	}
+}
+
+func TestSplitConjuncts(t *testing.T) {
+	e := expr(t, "?a = 1 && ?b = 2 && (?c = 3 || ?d = 4)")
+	parts := SplitConjuncts(e)
+	if len(parts) != 3 {
+		t.Fatalf("SplitConjuncts = %d parts, want 3", len(parts))
+	}
+	// disjunctions must stay intact
+	if _, ok := parts[2].(*sparql.Binary); !ok {
+		t.Fatal("third conjunct must be the disjunction")
+	}
+	single := SplitConjuncts(expr(t, "?a = 1"))
+	if len(single) != 1 {
+		t.Fatal("single conjunct must return itself")
+	}
+}

@@ -1,0 +1,251 @@
+package algebra
+
+import (
+	"errors"
+	"fmt"
+
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/sparql"
+)
+
+// ErrType is the SPARQL expression type error. Per the recommendation it
+// propagates through most operators but is absorbed by the short-circuit
+// rules of || and && and makes a FILTER reject the solution.
+var ErrType = errors.New("sparql type error")
+
+// Binding resolves variable names to bound terms during expression
+// evaluation. ok is false for unbound variables.
+type Binding interface {
+	Value(name string) (rdf.Term, bool)
+}
+
+// Value is the result of evaluating an expression: either an RDF term or
+// an (ephemeral) boolean.
+type Value struct {
+	IsBool bool
+	Bool   bool
+	Term   rdf.Term
+}
+
+// BoolValue wraps a boolean result.
+func BoolValue(b bool) Value { return Value{IsBool: true, Bool: b} }
+
+// TermValue wraps a term result.
+func TermValue(t rdf.Term) Value { return Value{Term: t} }
+
+// EBV computes the effective boolean value (SPARQL 1.0 §11.2.2).
+func (v Value) EBV() (bool, error) {
+	if v.IsBool {
+		return v.Bool, nil
+	}
+	t := v.Term
+	if !t.IsLiteral() {
+		return false, fmt.Errorf("%w: EBV of %s", ErrType, t.Kind)
+	}
+	switch t.Datatype {
+	case rdf.XSDBoolean:
+		return t.Value == "true" || t.Value == "1", nil
+	case "", rdf.XSDString:
+		return t.Value != "", nil
+	default:
+		if n, ok := t.Numeric(); ok {
+			return n != 0, nil
+		}
+		return false, fmt.Errorf("%w: EBV of literal with datatype %s", ErrType, t.Datatype)
+	}
+}
+
+// EvalBool evaluates e under b and applies the effective boolean value,
+// the operation a FILTER performs. Type errors surface as (false, err).
+func EvalBool(e sparql.Expr, b Binding) (bool, error) {
+	v, err := Eval(e, b)
+	if err != nil {
+		return false, err
+	}
+	return v.EBV()
+}
+
+// Eval evaluates a SPARQL expression. Unbound variables and ill-typed
+// operations yield ErrType-wrapped errors, which FILTER semantics turn
+// into rejection.
+func Eval(e sparql.Expr, b Binding) (Value, error) {
+	switch n := e.(type) {
+	case *sparql.VarExpr:
+		t, ok := b.Value(n.Name)
+		if !ok {
+			return Value{}, fmt.Errorf("%w: unbound variable ?%s", ErrType, n.Name)
+		}
+		return TermValue(t), nil
+	case *sparql.TermExpr:
+		return TermValue(n.Term), nil
+	case *sparql.Bound:
+		_, ok := b.Value(n.Var)
+		return BoolValue(ok), nil
+	case *sparql.Not:
+		inner, err := Eval(n.Inner, b)
+		if err != nil {
+			return Value{}, err
+		}
+		ebv, err := inner.EBV()
+		if err != nil {
+			return Value{}, err
+		}
+		return BoolValue(!ebv), nil
+	case *sparql.Binary:
+		return evalBinary(n, b)
+	default:
+		return Value{}, fmt.Errorf("%w: unknown expression %T", ErrType, e)
+	}
+}
+
+func evalBinary(n *sparql.Binary, b Binding) (Value, error) {
+	switch n.Op {
+	case sparql.OpOr:
+		return evalOr(n, b)
+	case sparql.OpAnd:
+		return evalAnd(n, b)
+	}
+	lv, err := Eval(n.Left, b)
+	if err != nil {
+		return Value{}, err
+	}
+	rv, err := Eval(n.Right, b)
+	if err != nil {
+		return Value{}, err
+	}
+	switch n.Op {
+	case sparql.OpEq:
+		eq, err := valueEqual(lv, rv)
+		return BoolValue(eq), err
+	case sparql.OpNeq:
+		eq, err := valueEqual(lv, rv)
+		return BoolValue(!eq), err
+	default:
+		c, err := valueCompare(lv, rv)
+		if err != nil {
+			return Value{}, err
+		}
+		switch n.Op {
+		case sparql.OpLt:
+			return BoolValue(c < 0), nil
+		case sparql.OpGt:
+			return BoolValue(c > 0), nil
+		case sparql.OpLeq:
+			return BoolValue(c <= 0), nil
+		default: // OpGeq
+			return BoolValue(c >= 0), nil
+		}
+	}
+}
+
+// evalOr implements SPARQL's error-absorbing logical or: an error operand
+// is overridden by a true one.
+func evalOr(n *sparql.Binary, b Binding) (Value, error) {
+	lv, lerr := EvalBool(n.Left, b)
+	rv, rerr := EvalBool(n.Right, b)
+	switch {
+	case lerr == nil && rerr == nil:
+		return BoolValue(lv || rv), nil
+	case lerr == nil && lv:
+		return BoolValue(true), nil
+	case rerr == nil && rv:
+		return BoolValue(true), nil
+	case lerr != nil:
+		return Value{}, lerr
+	default:
+		return Value{}, rerr
+	}
+}
+
+// evalAnd implements error-absorbing logical and: an error operand is
+// overridden by a false one.
+func evalAnd(n *sparql.Binary, b Binding) (Value, error) {
+	lv, lerr := EvalBool(n.Left, b)
+	rv, rerr := EvalBool(n.Right, b)
+	switch {
+	case lerr == nil && rerr == nil:
+		return BoolValue(lv && rv), nil
+	case lerr == nil && !lv:
+		return BoolValue(false), nil
+	case rerr == nil && !rv:
+		return BoolValue(false), nil
+	case lerr != nil:
+		return Value{}, lerr
+	default:
+		return Value{}, rerr
+	}
+}
+
+// valueEqual implements RDFterm-equal with numeric promotion: numeric
+// literals compare by value, string-ish literals by lexical form, and
+// everything else by term identity.
+func valueEqual(a, b Value) (bool, error) {
+	if a.IsBool || b.IsBool {
+		if a.IsBool && b.IsBool {
+			return a.Bool == b.Bool, nil
+		}
+		return false, fmt.Errorf("%w: comparing boolean with term", ErrType)
+	}
+	at, bt := a.Term, b.Term
+	if at.IsLiteral() && bt.IsLiteral() {
+		if an, aok := at.Numeric(); aok {
+			if bn, bok := bt.Numeric(); bok {
+				return an == bn, nil
+			}
+		}
+		if isStringish(at) && isStringish(bt) {
+			return at.Value == bt.Value, nil
+		}
+	}
+	return at.Equal(bt), nil
+}
+
+// valueCompare implements the ordering operators (<, >, <=, >=), defined
+// for numeric and string-typed literals only.
+func valueCompare(a, b Value) (int, error) {
+	if a.IsBool || b.IsBool {
+		return 0, fmt.Errorf("%w: ordering comparison on boolean", ErrType)
+	}
+	at, bt := a.Term, b.Term
+	if !at.IsLiteral() || !bt.IsLiteral() {
+		return 0, fmt.Errorf("%w: ordering comparison on %s and %s", ErrType, at.Kind, bt.Kind)
+	}
+	if an, aok := at.Numeric(); aok {
+		if bn, bok := bt.Numeric(); bok {
+			switch {
+			case an < bn:
+				return -1, nil
+			case an > bn:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	}
+	if isStringish(at) && isStringish(bt) {
+		switch {
+		case at.Value < bt.Value:
+			return -1, nil
+		case at.Value > bt.Value:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: ordering comparison on incompatible literals", ErrType)
+}
+
+func isStringish(t rdf.Term) bool {
+	return t.Datatype == "" || t.Datatype == rdf.XSDString
+}
+
+// SplitConjuncts decomposes a filter expression into its top-level &&
+// conjuncts. The native engine uses it for filter pushing: each conjunct
+// can be placed independently at the earliest point where its variables
+// are bound (the decomposition optimization the paper suggests for Q8).
+func SplitConjuncts(e sparql.Expr) []sparql.Expr {
+	if bin, ok := e.(*sparql.Binary); ok && bin.Op == sparql.OpAnd {
+		return append(SplitConjuncts(bin.Left), SplitConjuncts(bin.Right)...)
+	}
+	return []sparql.Expr{e}
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"sp2bench/internal/sparql"
+)
+
+func TestGenerateAndOpenRoundTrip(t *testing.T) {
+	var doc bytes.Buffer
+	stats, err := Generate(&doc, GeneratorParams(5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Triples < 5_000 {
+		t.Fatalf("generated %d triples, want >= 5000", stats.Triples)
+	}
+	db, err := OpenReader(&doc, Native())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() == 0 || db.Store().Len() != db.Len() {
+		t.Fatal("store not populated")
+	}
+	if db.Engine() == nil {
+		t.Fatal("engine missing")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "doc.nt")
+	if _, err := GenerateFile(path, GeneratorParams(2_000)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenFile(path, Mem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.Count(context.Background(), `SELECT ?j WHERE { ?j rdf:type bench:Journal }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no journals found")
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile("/nonexistent/x.nt", Native()); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestGenerateFileBadPath(t *testing.T) {
+	if _, err := GenerateFile("/nonexistent/dir/x.nt", GeneratorParams(100)); err == nil {
+		t.Fatal("expected error for unwritable path")
+	}
+}
+
+func TestQueryAndBenchmark(t *testing.T) {
+	var doc bytes.Buffer
+	if _, err := Generate(&doc, GeneratorParams(10_000)); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenReader(&doc, Native())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	res, err := db.Benchmark(ctx, "q1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() != 1 {
+		t.Fatalf("q1 = %d rows, want 1", res.Len())
+	}
+
+	ask, err := db.Benchmark(ctx, "q12c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ask.Form != sparql.FormAsk || ask.Ask {
+		t.Fatal("q12c must answer no")
+	}
+
+	_, err = db.Benchmark(ctx, "q99")
+	var unknown *UnknownQueryError
+	if !errors.As(err, &unknown) || unknown.ID != "q99" {
+		t.Fatalf("err = %v, want UnknownQueryError{q99}", err)
+	}
+	if unknown.Error() == "" {
+		t.Error("empty error message")
+	}
+
+	if _, err := db.Query(ctx, "not sparql"); err == nil {
+		t.Fatal("expected parse error")
+	}
+	if _, err := db.Count(ctx, "not sparql"); err == nil {
+		t.Fatal("expected parse error from Count")
+	}
+}
+
+func TestQueriesCatalogExposed(t *testing.T) {
+	if len(Queries()) != 17 {
+		t.Fatalf("Queries() = %d, want 17", len(Queries()))
+	}
+}
+
+func TestRunBenchmarkSmall(t *testing.T) {
+	cfg := DefaultBenchmarkConfig()
+	cfg.Scales = cfg.Scales[:1]   // 10k only
+	cfg.Engines = cfg.Engines[1:] // native only
+	cfg.QueryIDs = []string{"q1", "q9", "q11"}
+	cfg.WorkDir = t.TempDir()
+	rep, err := RunBenchmark(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(rep.Runs))
+	}
+	if v := rep.CheckShapes(); len(v) != 0 {
+		t.Errorf("shape violations: %+v", v)
+	}
+}
+
+func TestRunBenchmarkBadConfig(t *testing.T) {
+	cfg := DefaultBenchmarkConfig()
+	cfg.Scales = nil
+	if _, err := RunBenchmark(cfg); err == nil {
+		t.Fatal("expected validation error")
+	}
+}

@@ -1,0 +1,110 @@
+package engine_test
+
+import (
+	"context"
+	"strconv"
+	"testing"
+
+	"sp2bench/internal/dist"
+	"sp2bench/internal/engine"
+	"sp2bench/internal/queries"
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/sparql"
+)
+
+// TestExtensionQueriesAgainstGeneratorStats runs the aggregate extension
+// catalog on generated data and checks each result against the generator's
+// own statistics — the "fixed characteristics" the paper's conclusion
+// promises aggregate queries over this data would have.
+func TestExtensionQueriesAgainstGeneratorStats(t *testing.T) {
+	s, stats := generatedStore(t, 25_000)
+	eng := engine.New(s, engine.Native())
+	ctx := context.Background()
+
+	run := func(id string) *engine.Result {
+		t.Helper()
+		ext, ok := queries.ExtensionByID(id)
+		if !ok {
+			t.Fatalf("unknown extension query %s", id)
+		}
+		q, err := sparql.Parse(ext.Text, queries.Prologue)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		res, err := eng.Aggregate(ctx, q)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		return res
+	}
+
+	// QX1: documents per class must equal the generator's class counts.
+	res := run("qx1")
+	got := map[string]string{}
+	for _, row := range res.Rows {
+		got[row[0].Value] = row[1].Value
+	}
+	checks := map[string]int64{
+		rdf.BenchArticle:       stats.ClassCounts[dist.ClassArticle],
+		rdf.BenchInproceedings: stats.ClassCounts[dist.ClassInproceedings],
+		rdf.BenchProceedings:   stats.ClassCounts[dist.ClassProceedings],
+		rdf.BenchJournal:       stats.Journals,
+	}
+	for class, want := range checks {
+		if got[class] != strconv.FormatInt(want, 10) {
+			t.Errorf("qx1[%s] = %s, want %d", class, got[class], want)
+		}
+	}
+
+	// QX2: per-year counts ordered by year; years must be increasing and
+	// counts must match the generator's per-year records for documents
+	// carrying dcterms:issued.
+	res = run("qx2")
+	if len(res.Rows) == 0 {
+		t.Fatal("qx2 empty")
+	}
+	prev := ""
+	for _, row := range res.Rows {
+		if prev != "" && !(len(prev) < len(row[0].Value) || prev < row[0].Value) {
+			t.Fatalf("qx2 years not increasing: %s after %s", row[0].Value, prev)
+		}
+		prev = row[0].Value
+	}
+
+	// QX3: once the document covers 1940+, Paul Erdős (10 pubs/year) is
+	// the most prolific author.
+	if stats.EndYear >= 1945 {
+		res = run("qx3")
+		if len(res.Rows) == 0 || res.Rows[0][0].Value != "Paul Erdoes" {
+			t.Errorf("qx3 top author = %v, want Paul Erdoes", res.Rows[0])
+		}
+	}
+
+	// QX4: total and distinct author counts match the generator stats.
+	res = run("qx4")
+	if res.Rows[0][0].Value != strconv.FormatInt(stats.TotalAuthors, 10) {
+		t.Errorf("qx4 total = %s, want %d", res.Rows[0][0].Value, stats.TotalAuthors)
+	}
+	if res.Rows[0][1].Value != strconv.Itoa(stats.DistinctAuthors) {
+		t.Errorf("qx4 distinct = %s, want %d", res.Rows[0][1].Value, stats.DistinctAuthors)
+	}
+
+	// QX5: year ranges per class stay within the simulated range.
+	res = run("qx5")
+	for _, row := range res.Rows {
+		first, _ := row[1].Numeric()
+		last, _ := row[2].Numeric()
+		mean, ok := row[3].Numeric()
+		if !ok {
+			t.Errorf("qx5 mean not numeric: %v", row[3])
+			continue
+		}
+		if first < float64(stats.StartYear) || last > float64(stats.EndYear) {
+			t.Errorf("qx5 range [%v,%v] outside simulation [%d,%d]",
+				first, last, stats.StartYear, stats.EndYear)
+		}
+		if mean < first || mean > last {
+			t.Errorf("qx5 mean %v outside [%v,%v]", mean, first, last)
+		}
+	}
+}

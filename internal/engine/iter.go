@@ -1,0 +1,493 @@
+package engine
+
+import (
+	"sort"
+
+	"sp2bench/internal/algebra"
+	"sp2bench/internal/sparql"
+	"sp2bench/internal/store"
+)
+
+// joinIter is a correlated bind join: for every left row the right subplan
+// is re-opened with the left bindings substituted, so compatible mappings
+// merge by construction.
+type joinIter struct {
+	left, right subplan
+	cur         []store.ID
+	haveLeft    bool
+	done        bool
+}
+
+func (j *joinIter) open(parent []store.ID) {
+	j.left.open(parent)
+	j.haveLeft = false
+	j.done = false
+}
+
+func (j *joinIter) next() ([]store.ID, bool, error) {
+	if j.done {
+		return nil, false, nil
+	}
+	for {
+		if !j.haveLeft {
+			l, ok, err := j.left.next()
+			if err != nil || !ok {
+				j.done = true
+				return nil, false, err
+			}
+			j.right.open(l)
+			j.haveLeft = true
+		}
+		r, ok, err := j.right.next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return r, true, nil
+		}
+		j.haveLeft = false
+	}
+}
+
+// leftJoinIter implements OPTIONAL. In bind-join mode the right side is
+// re-opened per left row. When materializeRight is set (native engines,
+// uncorrelated right sides) the right side is evaluated once; if the
+// condition contains a cross-side equality the right rows are additionally
+// hashed on it.
+type leftJoinIter struct {
+	c           *compiled
+	left, right subplan
+	cond        sparql.Expr
+
+	materializeRight bool
+	residual         []sparql.Expr // cond conjuncts beyond the hash key
+	hashLeftSlot     int
+	hashRightSlot    int
+
+	// run state
+	parent   []store.ID
+	matRows  [][]store.ID // materialized right rows (merged-width)
+	hash     map[store.ID][][]store.ID
+	matDone  bool
+	leftRow  []store.ID
+	haveLeft bool
+	matched  bool
+	candIdx  int
+	cands    [][]store.ID
+	done     bool
+	buf      []store.ID
+}
+
+func (lj *leftJoinIter) open(parent []store.ID) {
+	lj.left.open(parent)
+	lj.parent = append(lj.parent[:0], parent...)
+	lj.haveLeft = false
+	lj.matDone = false
+	lj.matRows = nil
+	lj.hash = nil
+	lj.done = false
+}
+
+func (lj *leftJoinIter) next() ([]store.ID, bool, error) {
+	if lj.done {
+		return nil, false, nil
+	}
+	for {
+		if !lj.haveLeft {
+			l, ok, err := lj.left.next()
+			if err != nil || !ok {
+				lj.done = true
+				return nil, false, err
+			}
+			lj.leftRow = l
+			lj.haveLeft = true
+			lj.matched = false
+			if lj.materializeRight {
+				if err := lj.ensureMaterialized(); err != nil {
+					return nil, false, err
+				}
+				lj.cands = lj.candidates(l)
+				lj.candIdx = 0
+			} else {
+				lj.right.open(l)
+			}
+		}
+		if lj.materializeRight {
+			row, ok, err := lj.nextMaterialized()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return row, true, nil
+			}
+		} else {
+			row, ok, err := lj.nextBind()
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				return row, true, nil
+			}
+		}
+		// right exhausted for this left row
+		lj.haveLeft = false
+		if !lj.matched {
+			return lj.leftRow, true, nil
+		}
+	}
+}
+
+// nextBind advances the correlated right side.
+func (lj *leftJoinIter) nextBind() ([]store.ID, bool, error) {
+	for {
+		r, ok, err := lj.right.next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, nil
+		}
+		pass, err := lj.condHolds(r)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			lj.matched = true
+			return r, true, nil
+		}
+	}
+}
+
+// nextMaterialized advances through the pre-evaluated right rows, merging
+// each candidate with the current left row.
+func (lj *leftJoinIter) nextMaterialized() ([]store.ID, bool, error) {
+	for lj.candIdx < len(lj.cands) {
+		if err := lj.c.cancel.check(); err != nil {
+			return nil, false, err
+		}
+		cand := lj.cands[lj.candIdx]
+		lj.candIdx++
+		merged, ok := mergeRows(lj.leftRow, cand, &lj.buf)
+		if !ok {
+			continue
+		}
+		pass := true
+		if lj.hashLeftSlot < 0 && lj.cond != nil {
+			// No hash key extracted: evaluate the full condition.
+			var err error
+			pass, err = algebra.EvalBool(lj.cond, rowBinding{c: lj.c, row: merged})
+			if err != nil {
+				pass = false
+			}
+		} else {
+			for _, conj := range lj.residual {
+				v, err := algebra.EvalBool(conj, rowBinding{c: lj.c, row: merged})
+				if err != nil || !v {
+					pass = false
+					break
+				}
+			}
+		}
+		if pass {
+			lj.matched = true
+			return merged, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func (lj *leftJoinIter) candidates(l []store.ID) [][]store.ID {
+	if lj.hashLeftSlot >= 0 {
+		key := l[lj.hashLeftSlot]
+		if key == store.NoID {
+			return nil // unbound key: equality would be a type error
+		}
+		return lj.hash[key]
+	}
+	return lj.matRows
+}
+
+func (lj *leftJoinIter) ensureMaterialized() error {
+	if lj.matDone {
+		return nil
+	}
+	lj.matDone = true
+	lj.right.open(lj.parent)
+	if lj.hashLeftSlot >= 0 {
+		lj.hash = make(map[store.ID][][]store.ID)
+	}
+	for {
+		r, ok, err := lj.right.next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		cp := append([]store.ID(nil), r...)
+		if lj.hashLeftSlot >= 0 {
+			k := cp[lj.hashRightSlot]
+			lj.hash[k] = append(lj.hash[k], cp)
+		} else {
+			lj.matRows = append(lj.matRows, cp)
+		}
+	}
+}
+
+func (lj *leftJoinIter) condHolds(merged []store.ID) (bool, error) {
+	if lj.cond == nil {
+		return true, nil
+	}
+	v, err := algebra.EvalBool(lj.cond, rowBinding{c: lj.c, row: merged})
+	if err != nil {
+		// A type error in the left join condition rejects the extension
+		// (the row survives unextended if nothing else matches).
+		return false, nil
+	}
+	return v, nil
+}
+
+// mergeRows merges a materialized right row into a left row; it fails when
+// both bind the same slot to different IDs (incompatible mappings). buf is
+// reused across calls.
+func mergeRows(l, r []store.ID, buf *[]store.ID) ([]store.ID, bool) {
+	if cap(*buf) < len(l) {
+		*buf = make([]store.ID, len(l))
+	}
+	out := (*buf)[:len(l)]
+	copy(out, l)
+	for i, v := range r {
+		if v == store.NoID {
+			continue
+		}
+		if out[i] != store.NoID && out[i] != v {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// unionIter yields all left solutions then all right solutions.
+type unionIter struct {
+	left, right subplan
+	onRight     bool
+}
+
+func (u *unionIter) open(parent []store.ID) {
+	u.left.open(parent)
+	u.right.open(parent)
+	u.onRight = false
+}
+
+func (u *unionIter) next() ([]store.ID, bool, error) {
+	if !u.onRight {
+		row, ok, err := u.left.next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+		u.onRight = true
+	}
+	return u.right.next()
+}
+
+// filterIter applies a FILTER expression; type errors reject the solution.
+type filterIter struct {
+	c     *compiled
+	input subplan
+	cond  sparql.Expr
+}
+
+func (f *filterIter) open(parent []store.ID) { f.input.open(parent) }
+
+func (f *filterIter) next() ([]store.ID, bool, error) {
+	for {
+		row, ok, err := f.input.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v, err := algebra.EvalBool(f.cond, rowBinding{c: f.c, row: row})
+		if err == nil && v {
+			return row, true, nil
+		}
+	}
+}
+
+// projectIter zeroes the slots of non-projected variables so that
+// downstream DISTINCT compares only the projection.
+type projectIter struct {
+	input subplan
+	keep  []bool
+	buf   []store.ID
+}
+
+func (p *projectIter) open(parent []store.ID) { p.input.open(parent) }
+
+func (p *projectIter) next() ([]store.ID, bool, error) {
+	row, ok, err := p.input.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if cap(p.buf) < len(row) {
+		p.buf = make([]store.ID, len(row))
+	}
+	out := p.buf[:len(row)]
+	for i, v := range row {
+		if p.keep[i] {
+			out[i] = v
+		} else {
+			out[i] = store.NoID
+		}
+	}
+	return out, true, nil
+}
+
+// distinctIter suppresses duplicate rows using a byte-key hash set.
+type distinctIter struct {
+	c     *compiled
+	input subplan
+	seen  map[string]struct{}
+	key   []byte
+}
+
+func (d *distinctIter) open(parent []store.ID) {
+	d.input.open(parent)
+	d.seen = make(map[string]struct{})
+}
+
+func (d *distinctIter) next() ([]store.ID, bool, error) {
+	for {
+		row, ok, err := d.input.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if err := d.c.cancel.check(); err != nil {
+			return nil, false, err
+		}
+		d.key = d.key[:0]
+		for _, v := range row {
+			d.key = append(d.key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+		}
+		k := string(d.key)
+		if _, dup := d.seen[k]; dup {
+			continue
+		}
+		d.seen[k] = struct{}{}
+		return row, true, nil
+	}
+}
+
+// orderKey is one compiled ORDER BY condition.
+type orderKey struct {
+	slot int
+	desc bool
+}
+
+// orderIter materializes and sorts its input. Ordering follows SPARQL 1.0:
+// unbound < blank nodes < IRIs < literals, numeric-aware inside literals.
+type orderIter struct {
+	c     *compiled
+	input subplan
+	keys  []orderKey
+	rows  [][]store.ID
+	pos   int
+	built bool
+}
+
+func (o *orderIter) open(parent []store.ID) {
+	o.input.open(parent)
+	o.rows = nil
+	o.pos = 0
+	o.built = false
+}
+
+func (o *orderIter) next() ([]store.ID, bool, error) {
+	if !o.built {
+		for {
+			row, ok, err := o.input.next()
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			o.rows = append(o.rows, append([]store.ID(nil), row...))
+			if err := o.c.cancel.check(); err != nil {
+				return nil, false, err
+			}
+		}
+		dict := o.c.eng.st.Dict()
+		sort.SliceStable(o.rows, func(i, j int) bool {
+			a, b := o.rows[i], o.rows[j]
+			for _, k := range o.keys {
+				if k.slot < 0 {
+					continue
+				}
+				av, bv := a[k.slot], b[k.slot]
+				cmp := 0
+				switch {
+				case av == bv:
+					continue
+				case av == store.NoID:
+					cmp = -1
+				case bv == store.NoID:
+					cmp = 1
+				default:
+					cmp = dict.Term(av).Compare(dict.Term(bv))
+				}
+				if cmp == 0 {
+					continue
+				}
+				if k.desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		o.built = true
+	}
+	if o.pos >= len(o.rows) {
+		return nil, false, nil
+	}
+	row := o.rows[o.pos]
+	o.pos++
+	return row, true, nil
+}
+
+// sliceIter applies OFFSET and LIMIT.
+type sliceIter struct {
+	input   subplan
+	offset  int
+	limit   int
+	skipped int
+	emitted int
+}
+
+func (s *sliceIter) open(parent []store.ID) {
+	s.input.open(parent)
+	s.skipped = 0
+	s.emitted = 0
+}
+
+func (s *sliceIter) next() ([]store.ID, bool, error) {
+	for s.offset > 0 && s.skipped < s.offset {
+		_, ok, err := s.input.next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		s.skipped++
+	}
+	if s.limit >= 0 && s.emitted >= s.limit {
+		return nil, false, nil
+	}
+	row, ok, err := s.input.next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	s.emitted++
+	return row, true, nil
+}

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"sp2bench/internal/sparql"
+	"sp2bench/internal/store"
+)
+
+// reorder implements selectivity-based triple pattern reordering (the
+// optimization of Stocker et al., reference [5] of the paper): a greedy
+// ordering that always picks the cheapest remaining pattern, strongly
+// preferring patterns connected to the already-bound variables to avoid
+// intermediate cross products.
+func (c *compiled) reorder(patterns []sparql.TriplePattern, outer []string) []sparql.TriplePattern {
+	remaining := append([]sparql.TriplePattern(nil), patterns...)
+	bound := map[string]bool{}
+	for _, v := range outer {
+		bound[v] = true
+	}
+	var ordered []sparql.TriplePattern
+	for len(remaining) > 0 {
+		bestIdx, bestCost := -1, 0.0
+		for i, p := range remaining {
+			cost := c.estimate(p, bound)
+			if disconnected(p, bound) && len(ordered)+len(outer) > 0 {
+				cost *= 1e9 // cross product: only as a last resort
+			}
+			if bestIdx < 0 || cost < bestCost {
+				bestIdx, bestCost = i, cost
+			}
+		}
+		chosen := remaining[bestIdx]
+		ordered = append(ordered, chosen)
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		for _, v := range chosen.Vars() {
+			bound[v] = true
+		}
+	}
+	if fmtOrder(patterns) != fmtOrder(ordered) {
+		c.notes = append(c.notes, "bgp reordered: "+fmtOrder(ordered))
+	}
+	return ordered
+}
+
+func fmtOrder(ps []sparql.TriplePattern) string {
+	s := ""
+	for _, p := range ps {
+		s += p.String() + " "
+	}
+	return s
+}
+
+// disconnected reports whether the pattern shares no variable with the
+// bound set and has no constant anchor that keeps it selective.
+func disconnected(p sparql.TriplePattern, bound map[string]bool) bool {
+	if len(bound) == 0 {
+		return false
+	}
+	for _, v := range p.Vars() {
+		if bound[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// estimate predicts the number of bindings the pattern produces given the
+// variables already bound. Constant components use exact index counts; a
+// runtime-bound variable divides the estimate by the number of distinct
+// values observed at that position.
+func (c *compiled) estimate(p sparql.TriplePattern, bound map[string]bool) float64 {
+	st := c.eng.st
+	n := float64(st.Len())
+	if n == 0 {
+		return 0
+	}
+
+	resolve := func(t sparql.PatternTerm) (id store.ID, isConst, isBound, missing bool) {
+		if !t.IsVar {
+			cid, ok := st.Dict().Lookup(t.Term)
+			if !ok {
+				return 0, true, false, true
+			}
+			return cid, true, false, false
+		}
+		return 0, false, bound[t.Var], false
+	}
+
+	sid, sConst, sBound, sMiss := resolve(p.S)
+	pid, pConst, pBound, pMiss := resolve(p.P)
+	oid, oConst, oBound, oMiss := resolve(p.O)
+	if sMiss || pMiss || oMiss {
+		return 0 // provably empty: evaluate first and stop immediately
+	}
+
+	// Exact count over the constant components.
+	var key [3]store.ID
+	if sConst {
+		key[0] = sid
+	}
+	if pConst {
+		key[1] = pid
+	}
+	if oConst {
+		key[2] = oid
+	}
+	base := float64(st.Count(key[0], key[1], key[2]))
+	if base == 0 {
+		return 0
+	}
+
+	// Reduce for variables that will be bound at runtime.
+	div := 1.0
+	if sBound && !sConst {
+		if pConst && st.DistinctSubjects(pid) > 0 {
+			div *= float64(st.DistinctSubjects(pid))
+		} else if st.TotalDistinctSubjects() > 0 {
+			div *= float64(st.TotalDistinctSubjects())
+		}
+	}
+	if oBound && !oConst {
+		if pConst && st.DistinctObjects(pid) > 0 {
+			div *= float64(st.DistinctObjects(pid))
+		} else if st.TotalDistinctObjects() > 0 {
+			div *= float64(st.TotalDistinctObjects())
+		}
+	}
+	if pBound && !pConst {
+		div *= float64(maxInt(1, st.DistinctPredicates()))
+	}
+	est := base / div
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,377 @@
+package gen
+
+import (
+	"math"
+	"sort"
+
+	"sp2bench/internal/dist"
+)
+
+// assignAuthors implements the author-selection phase of Figure 4:
+// estimate the number of author slots for the year, derive the distinct
+// and new author counts from the Section III-C ratios, choose the
+// publishing authors (existing ones by preferential attachment, which
+// yields the Lotka-style power law of Figure 2(c)), and fill the papers'
+// author lists with a bias toward repeat collaborations so that distinct
+// coauthor counts stay below total coauthor counts (µ_dcoauth < µ_coauth).
+func (g *Generator) assignAuthors(yr int, docs []*yearDoc) {
+	mu, sigma := dist.AuthorsMu(yr), dist.AuthorsSigma(yr)
+
+	// Author slots per document (d_auth).
+	total := 0
+	var authored []*yearDoc
+	for _, d := range docs {
+		if !d.has(dist.AttrAuthor) {
+			continue
+		}
+		n := g.rng.GaussCount(mu, sigma)
+		d.authors = make([]int32, 0, n)
+		for len(d.authors) < n {
+			d.authors = append(d.authors, -1)
+		}
+		total += n
+		authored = append(authored, d)
+	}
+	if total == 0 {
+		return
+	}
+
+	// Distinct and new author counts (f_dauth, f_new).
+	distinct := clampInt(int(math.Round(dist.DistinctAuthorsRatio(yr)*float64(total))), 1, total)
+	fresh := clampInt(int(math.Round(dist.NewAuthorsRatio(yr)*float64(distinct))), 0, distinct)
+	existingWanted := distinct - fresh
+	if existingWanted > len(g.authors) {
+		fresh += existingWanted - len(g.authors)
+		existingWanted = len(g.authors)
+	}
+
+	// Choose the publishing authors.
+	active := g.pickExisting(existingWanted)
+	for i := 0; i < fresh; i++ {
+		active = append(active, g.newAuthor())
+	}
+
+	// Urn over the active set, weighted by cumulative publication count
+	// (capped so a single prolific author cannot dominate a year).
+	urn := make([]int32, 0, len(active)*2)
+	for _, idx := range active {
+		w := 1 + int(g.authors[idx].pubs)
+		if w > 32 {
+			w = 32
+		}
+		for i := 0; i < w; i++ {
+			urn = append(urn, idx)
+		}
+	}
+
+	activeSet := make(map[int32]bool, len(active))
+	for _, idx := range active {
+		activeSet[idx] = true
+	}
+
+	// Every chosen author must actually publish this year — that is what
+	// "distinct authors" measures. The mandatory queue hands each active
+	// author their first slot; remaining slots go preferentially.
+	mandatory := append([]int32(nil), active...)
+	g.shuffle(mandatory)
+
+	fill := &authorFill{urn: urn, activeSet: activeSet, mandatory: mandatory}
+	for _, d := range authored {
+		g.fillAuthorList(d, fill)
+	}
+}
+
+// authorFill carries the year's slot-assignment state.
+type authorFill struct {
+	urn       []int32
+	activeSet map[int32]bool
+	mandatory []int32 // authors still owed their first slot of the year
+}
+
+// popMandatory returns the next author owed a slot, skipping entries that
+// already appear in the given paper.
+func (f *authorFill) popMandatory(chosen map[int32]bool) (int32, bool) {
+	for len(f.mandatory) > 0 {
+		cand := f.mandatory[len(f.mandatory)-1]
+		if chosen[cand] {
+			return -1, false // retry later for another paper
+		}
+		f.mandatory = f.mandatory[:len(f.mandatory)-1]
+		return cand, true
+	}
+	return -1, false
+}
+
+// shuffle is an in-place Fisher–Yates shuffle on the generator's RNG.
+func (g *Generator) shuffle(a []int32) {
+	for i := len(a) - 1; i > 0; i-- {
+		j := g.rng.Intn(i + 1)
+		a[i], a[j] = a[j], a[i]
+	}
+}
+
+// fillAuthorList assigns authors to one paper: the first author comes
+// from the mandatory queue while it lasts (so every distinct author of
+// the year publishes), then coauthors are drawn either from the first
+// author's recent collaborators (probability 0.4, biasing toward repeat
+// collaborations so distinct coauthor counts stay below total counts) or
+// from the weighted urn, without repeats within the paper.
+func (g *Generator) fillAuthorList(d *yearDoc, f *authorFill) {
+	n := len(d.authors)
+	chosen := make(map[int32]bool, n)
+	first, ok := f.popMandatory(chosen)
+	if !ok {
+		first = f.urn[g.rng.Intn(len(f.urn))]
+	}
+	d.authors[0] = first
+	chosen[first] = true
+	g.noteAuthorship(first)
+
+	for i := 1; i < n; i++ {
+		var pick int32 = -1
+		if cand, ok := f.popMandatory(chosen); ok && g.rng.Bernoulli(0.6) {
+			pick = cand
+		} else if ok {
+			// Put it back; the coauthor paths get a chance first.
+			f.mandatory = append(f.mandatory, cand)
+		}
+		fa := &g.authors[first]
+		if pick < 0 && fa.recentN > 0 && g.rng.Bernoulli(0.55) {
+			cand := fa.recent[g.rng.Intn(int(fa.recentN))]
+			if f.activeSet[cand] && !chosen[cand] {
+				pick = cand
+			}
+		}
+		if pick < 0 {
+			for attempt := 0; attempt < 8; attempt++ {
+				cand := f.urn[g.rng.Intn(len(f.urn))]
+				if !chosen[cand] {
+					pick = cand
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			// The active set is too small for a duplicate-free list;
+			// shrink the paper instead of looping forever.
+			d.authors = d.authors[:i]
+			break
+		}
+		d.authors[i] = pick
+		chosen[pick] = true
+		g.noteAuthorship(pick)
+		g.noteCollaboration(first, pick)
+	}
+}
+
+// retireAfter is the inactivity span (in years) after which an author
+// stops being selected for new publications — the "life times" of the
+// paper's simulation. Their person node stays in the data; they simply
+// stop publishing, which also bounds social neighbourhoods like the
+// Erdős-number-2 set (Q8).
+const retireAfter = 15
+
+func (g *Generator) noteAuthorship(idx int32) {
+	a := &g.authors[idx]
+	a.pubs++
+	a.yearPubs++
+	a.lastYear = int16(g.curYear)
+	// Keep the preferential-attachment urn in sync (one ball per
+	// publication, capped as in assignAuthors).
+	if a.pubs <= 32 {
+		g.authBalls = append(g.authBalls, idx)
+	}
+}
+
+// noteCollaboration records b as a recent coauthor of a (ring buffer).
+func (g *Generator) noteCollaboration(a, b int32) {
+	au := &g.authors[a]
+	for i := int8(0); i < au.recentN; i++ {
+		if au.recent[i] == b {
+			return
+		}
+	}
+	if au.recentN < int8(len(au.recent)) {
+		au.recent[au.recentN] = b
+		au.recentN++
+		return
+	}
+	au.recent[g.rng.Intn(len(au.recent))] = b
+}
+
+// pickExisting selects up to want distinct existing authors, weighted by
+// publication count (preferential attachment). Rejection sampling over the
+// urn covers the common case; a deterministic sweep fills any remainder.
+func (g *Generator) pickExisting(want int) []int32 {
+	if want <= 0 || len(g.authors) == 0 {
+		return nil
+	}
+	selected := make([]int32, 0, want)
+	seen := make(map[int32]bool, want)
+	retired := func(idx int32) bool {
+		return g.curYear-int(g.authors[idx].lastYear) > retireAfter
+	}
+	if len(g.authBalls) > 0 {
+		attempts := want * 6
+		for len(selected) < want && attempts > 0 {
+			attempts--
+			cand := g.authBalls[g.rng.Intn(len(g.authBalls))]
+			if !seen[cand] && !retired(cand) {
+				seen[cand] = true
+				selected = append(selected, cand)
+			}
+		}
+	}
+	if len(selected) < want {
+		start := g.rng.Intn(len(g.authors))
+		// First sweep honours retirement; a second ignores it so small
+		// early communities can still fill their quota.
+		for pass := 0; pass < 2 && len(selected) < want; pass++ {
+			for i := 0; i < len(g.authors) && len(selected) < want; i++ {
+				cand := int32((start + i) % len(g.authors))
+				if seen[cand] || (pass == 0 && retired(cand)) {
+					continue
+				}
+				seen[cand] = true
+				selected = append(selected, cand)
+			}
+		}
+	}
+	return selected
+}
+
+// newAuthor creates a fresh person with a unique name.
+func (g *Generator) newAuthor() int32 {
+	fi := int32(g.rng.Intn(len(firstNames)))
+	li := int32(g.rng.Intn(len(lastNames)))
+	key := int64(fi)<<32 | int64(li)
+	suffix := g.nameUsed[key]
+	g.nameUsed[key] = suffix + 1
+	idx := int32(len(g.authors))
+	g.authors = append(g.authors, author{
+		first: fi, last: li, suffix: suffix,
+		lastYear: int16(g.curYear), // debut year starts the active span
+	})
+	g.authBalls = append(g.authBalls, idx)
+	return idx
+}
+
+// assignEditors picks editors for every document carrying the editor
+// attribute (mostly proceedings, per Table IX also some books and WWW
+// documents). The count follows d_editor; the persons are drawn by
+// publication weight — "editors often have published before, i.e. are
+// persons that are known in the community" (Section III-C).
+func (g *Generator) assignEditors(yr int, docs []*yearDoc) {
+	for _, d := range docs {
+		if !d.has(dist.AttrEditor) {
+			continue
+		}
+		n := g.rng.GaussCount(dist.Editor.Mu, dist.Editor.Sigma)
+		if len(g.authors) == 0 {
+			// No community yet: editors must exist, so create them.
+			for i := 0; i < n; i++ {
+				d.editors = append(d.editors, g.newAuthor())
+			}
+			continue
+		}
+		d.editors = g.pickExisting(n)
+	}
+}
+
+// assignErdos gives Paul Erdős his fixed yearly quota (Section IV): 10
+// publications as an additional creator and 2 proceedings as editor,
+// between 1940 and 1996. His publications prefer papers written by his
+// existing collaborators, so the Erdős-number-≤2 neighbourhood saturates
+// with document size — the stabilization Q8's paper discussion relies on.
+func (g *Generator) assignErdos(yr int, docs []*yearDoc, procs []*yearDoc) {
+	if yr < dist.ErdosFirstYear || yr > dist.ErdosLastYear {
+		return
+	}
+	var candidates []*yearDoc
+	for _, d := range docs {
+		if d.class != dist.ClassProceedings && d.has(dist.AttrAuthor) && len(d.authors) > 0 {
+			candidates = append(candidates, d)
+		}
+	}
+	pubs := 0
+	take := func(wantOverlap bool) {
+		for _, d := range candidates {
+			if pubs >= dist.ErdosPublications {
+				return
+			}
+			if d.erdosAut {
+				continue
+			}
+			if wantOverlap != g.overlapsErdosCircle(d) {
+				continue
+			}
+			d.erdosAut = true
+			pubs++
+		}
+	}
+	take(true)  // repeat collaborations first
+	take(false) // then new ones
+	// Keep his collaborations clustered: on his papers, most coauthor
+	// slots are filled from the existing circle, so the Erdős-number
+	// neighbourhood saturates instead of growing linearly.
+	circle := make([]int32, 0, len(g.erdosCircle))
+	for idx := range g.erdosCircle {
+		circle = append(circle, idx)
+	}
+	sortInt32(circle) // map iteration order must not leak into the output
+	for _, d := range docs {
+		if !d.erdosAut {
+			continue
+		}
+		if len(circle) >= 4 {
+			for i := range d.authors {
+				if g.rng.Bernoulli(0.8) {
+					cand := circle[g.rng.Intn(len(circle))]
+					if !containsInt32(d.authors, cand) {
+						d.authors[i] = cand
+					}
+				}
+			}
+		}
+		for _, idx := range d.authors {
+			if idx >= 0 {
+				g.erdosCircle[idx] = true
+			}
+		}
+	}
+	for i := 0; i < len(procs) && i < dist.ErdosEditorials; i++ {
+		procs[i].erdosEd = true
+	}
+}
+
+func (g *Generator) overlapsErdosCircle(d *yearDoc) bool {
+	for _, idx := range d.authors {
+		if idx >= 0 && g.erdosCircle[idx] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInt32(a []int32) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+func containsInt32(a []int32, v int32) bool {
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

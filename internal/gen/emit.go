@@ -1,0 +1,441 @@
+package gen
+
+import (
+	"strconv"
+	"strings"
+
+	"sp2bench/internal/dist"
+	"sp2bench/internal/rdf"
+)
+
+var classSlugs = [dist.NumClasses]struct{ plural, name, typeIRI string }{
+	dist.ClassArticle:       {"articles", "Article", rdf.BenchArticle},
+	dist.ClassInproceedings: {"inproceedings", "Inproceedings", rdf.BenchInproceedings},
+	dist.ClassProceedings:   {"proceedings", "Proceedings", rdf.BenchProceedings},
+	dist.ClassBook:          {"books", "Book", rdf.BenchBook},
+	dist.ClassIncollection:  {"incollections", "Incollection", rdf.BenchIncollection},
+	dist.ClassPhD:           {"phdtheses", "PhDThesis", rdf.BenchPhDThesis},
+	dist.ClassMasters:       {"masterstheses", "MastersThesis", rdf.BenchMastersThesis},
+	dist.ClassWWW:           {"www", "Www", rdf.BenchWWW},
+}
+
+// docURI builds the URI of a generated document.
+func docURI(c dist.Class, yr int, seq int32) string {
+	s := classSlugs[c]
+	return NSPublications + s.plural + "/" + strconv.Itoa(yr) + "/" + s.name + strconv.Itoa(int(seq))
+}
+
+// journalURI builds the URI of a journal entity.
+func journalURI(yr int, i int) string {
+	return NSPublications + "journals/" + strconv.Itoa(yr) + "/Journal" + strconv.Itoa(i)
+}
+
+// emitSchema writes the schema layer: every document class is a subclass
+// of foaf:Document (navigated by Q6, Q7 and Q9).
+func (g *Generator) emitSchema() error {
+	for _, class := range rdf.DocumentClasses {
+		t := rdf.NewTriple(rdf.IRI(class), rdf.IRI(rdf.RDFSSubClass), rdf.IRI(rdf.FOAFDocument))
+		if err := g.w.WriteTriple(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *Generator) triple(s, p, o rdf.Term) error {
+	return g.w.WriteTriple(rdf.NewTriple(s, p, o))
+}
+
+// writeJournals emits the year's journal entities.
+func (g *Generator) writeJournals(yr int, n int) error {
+	for i := 1; i <= n; i++ {
+		subj := rdf.IRI(journalURI(yr, i))
+		title := "Journal " + strconv.Itoa(i) + " (" + strconv.Itoa(yr) + ")"
+		if err := g.triple(subj, rdf.IRI(rdf.RDFType), rdf.IRI(rdf.BenchJournal)); err != nil {
+			return err
+		}
+		if err := g.triple(subj, rdf.IRI(rdf.DCTitle), rdf.String(title)); err != nil {
+			return err
+		}
+		if err := g.triple(subj, rdf.IRI(rdf.DCTermsIssued), rdf.Integer(yr)); err != nil {
+			return err
+		}
+		g.stats.Journals++
+		g.yearSlot().Journals++
+		if err := g.checkLimit(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkLimit reports errLimit once the triple budget is exhausted; called
+// only at document boundaries so the output stays consistent.
+func (g *Generator) checkLimit() error {
+	if g.p.TripleLimit > 0 && g.w.Count() >= g.p.TripleLimit {
+		return errLimit
+	}
+	return nil
+}
+
+// emitPerson writes a person's two triples on first use and returns the
+// term refering to them.
+func (g *Generator) personTerm(idx int32) (rdf.Term, error) {
+	a := &g.authors[idx]
+	label := firstNames[a.first] + "_" + lastNames[a.last]
+	if a.suffix > 0 {
+		label += "_" + strconv.Itoa(int(a.suffix))
+	}
+	node := rdf.Blank(label)
+	if !a.emitted {
+		a.emitted = true
+		if err := g.triple(node, rdf.IRI(rdf.RDFType), rdf.IRI(rdf.FOAFPerson)); err != nil {
+			return node, err
+		}
+		name := strings.ReplaceAll(label, "_", " ")
+		if err := g.triple(node, rdf.IRI(rdf.FOAFName), rdf.String(name)); err != nil {
+			return node, err
+		}
+	}
+	return node, nil
+}
+
+// erdosTerm returns Paul Erdős' fixed URI, emitting his person triples on
+// first use.
+func (g *Generator) erdosTerm() (rdf.Term, error) {
+	node := rdf.IRI(rdf.PaulErdoes)
+	if !g.erdosEmitted {
+		g.erdosEmitted = true
+		if err := g.triple(node, rdf.IRI(rdf.RDFType), rdf.IRI(rdf.FOAFPerson)); err != nil {
+			return node, err
+		}
+		if err := g.triple(node, rdf.IRI(rdf.FOAFName), rdf.String("Paul Erdoes")); err != nil {
+			return node, err
+		}
+		g.stats.DistinctAuthors++
+	}
+	return node, nil
+}
+
+// writeDoc emits one document with all its attributes, creators, editors,
+// citations and (for articles and inproceedings) the occasional abstract.
+func (g *Generator) writeDoc(yr int, d *yearDoc) error {
+	subj := rdf.IRI(docURI(d.class, yr, d.seq))
+	if err := g.triple(subj, rdf.IRI(rdf.RDFType), rdf.IRI(classSlugs[d.class].typeIRI)); err != nil {
+		return err
+	}
+	countAttr := func(a dist.Attr) {
+		g.stats.AttrCounts[a][d.class]++
+	}
+
+	// title (always present per Table IX).
+	if d.has(dist.AttrTitle) {
+		if err := g.triple(subj, rdf.IRI(rdf.DCTitle), rdf.String(g.title(yr, d))); err != nil {
+			return err
+		}
+		countAttr(dist.AttrTitle)
+	}
+	if d.has(dist.AttrYear) {
+		if err := g.triple(subj, rdf.IRI(rdf.DCTermsIssued), rdf.Integer(yr)); err != nil {
+			return err
+		}
+		countAttr(dist.AttrYear)
+	}
+	if d.has(dist.AttrJournal) && d.class == dist.ClassArticle && d.container >= 0 {
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCJournal), rdf.IRI(journalURI(yr, int(d.container)+1))); err != nil {
+			return err
+		}
+		countAttr(dist.AttrJournal)
+	}
+	if d.has(dist.AttrCrossref) && d.container >= 0 {
+		var target string
+		switch d.class {
+		case dist.ClassInproceedings:
+			target = docURI(dist.ClassProceedings, yr, d.container+1)
+		case dist.ClassIncollection:
+			target = docURI(dist.ClassBook, yr, d.container+1)
+		}
+		if target != "" {
+			if err := g.triple(subj, rdf.IRI(rdf.DCTermsPartOf), rdf.IRI(target)); err != nil {
+				return err
+			}
+			countAttr(dist.AttrCrossref)
+		}
+	}
+	if d.has(dist.AttrBooktitle) {
+		if err := g.triple(subj, rdf.IRI(rdf.BenchBooktitle), rdf.String(g.booktitle(yr, d))); err != nil {
+			return err
+		}
+		countAttr(dist.AttrBooktitle)
+	}
+	if d.has(dist.AttrPages) {
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCPages), rdf.String(g.pages())); err != nil {
+			return err
+		}
+		countAttr(dist.AttrPages)
+	}
+	if d.has(dist.AttrURL) {
+		u := "http://www.example.org/" + classSlugs[d.class].plural + "/" + strconv.Itoa(yr) + "/doc" + strconv.Itoa(int(d.seq))
+		if err := g.triple(subj, rdf.IRI(rdf.FOAFHomepage), rdf.String(u)); err != nil {
+			return err
+		}
+		countAttr(dist.AttrURL)
+	}
+	if d.has(dist.AttrEE) {
+		u := "http://www.example.org/ee/" + strconv.Itoa(yr) + "/" + classSlugs[d.class].name + strconv.Itoa(int(d.seq))
+		if err := g.triple(subj, rdf.IRI(rdf.RDFSSeeAlso), rdf.String(u)); err != nil {
+			return err
+		}
+		countAttr(dist.AttrEE)
+	}
+	if d.has(dist.AttrVolume) {
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCVolume), rdf.Integer(1+g.rng.Intn(50))); err != nil {
+			return err
+		}
+		countAttr(dist.AttrVolume)
+	}
+	if d.has(dist.AttrNumber) {
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCNumber), rdf.Integer(1+g.rng.Intn(12))); err != nil {
+			return err
+		}
+		countAttr(dist.AttrNumber)
+	}
+	if d.has(dist.AttrMonth) {
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCMonth), rdf.Integer(1+g.rng.Intn(12))); err != nil {
+			return err
+		}
+		countAttr(dist.AttrMonth)
+	}
+	if d.has(dist.AttrChapter) {
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCChapter), rdf.Integer(1+g.rng.Intn(20))); err != nil {
+			return err
+		}
+		countAttr(dist.AttrChapter)
+	}
+	if d.has(dist.AttrSeries) {
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCSeries), rdf.Integer(1+g.rng.Intn(100))); err != nil {
+			return err
+		}
+		countAttr(dist.AttrSeries)
+	}
+	if d.has(dist.AttrISBN) {
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCIsbn), rdf.String(g.isbn())); err != nil {
+			return err
+		}
+		countAttr(dist.AttrISBN)
+	}
+	if d.has(dist.AttrPublisher) {
+		if err := g.triple(subj, rdf.IRI(rdf.DCPublisher), rdf.String(publishers[g.rng.Intn(len(publishers))])); err != nil {
+			return err
+		}
+		countAttr(dist.AttrPublisher)
+	}
+	if d.has(dist.AttrSchool) {
+		if err := g.triple(subj, rdf.IRI(rdf.DCPublisher), rdf.String(schools[g.rng.Intn(len(schools))])); err != nil {
+			return err
+		}
+		countAttr(dist.AttrSchool)
+	}
+	if d.has(dist.AttrAddress) {
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCAddress), rdf.String(randomWords[g.rng.Intn(len(randomWords))]+" City")); err != nil {
+			return err
+		}
+		countAttr(dist.AttrAddress)
+	}
+	if d.has(dist.AttrNote) {
+		if err := g.triple(subj, rdf.IRI(rdf.BenchNote), rdf.String(g.words(3+g.rng.Intn(4)))); err != nil {
+			return err
+		}
+		countAttr(dist.AttrNote)
+	}
+	if d.has(dist.AttrCdrom) {
+		if err := g.triple(subj, rdf.IRI(rdf.BenchCdrom), rdf.String("CDROM-"+strconv.Itoa(yr)+"-"+strconv.Itoa(int(d.seq)))); err != nil {
+			return err
+		}
+		countAttr(dist.AttrCdrom)
+	}
+
+	// Creators.
+	if len(d.authors) > 0 {
+		countAttr(dist.AttrAuthor)
+	}
+	for _, idx := range d.authors {
+		if idx < 0 {
+			continue
+		}
+		person, err := g.personTerm(idx)
+		if err != nil {
+			return err
+		}
+		if err := g.triple(subj, rdf.IRI(rdf.DCCreator), person); err != nil {
+			return err
+		}
+		g.stats.TotalAuthors++
+		if !g.authors[idx].countedCreator {
+			g.authors[idx].countedCreator = true
+			g.stats.DistinctAuthors++
+		}
+	}
+	if d.erdosAut {
+		person, err := g.erdosTerm()
+		if err != nil {
+			return err
+		}
+		if err := g.triple(subj, rdf.IRI(rdf.DCCreator), person); err != nil {
+			return err
+		}
+		g.stats.TotalAuthors++
+	}
+
+	// Editors.
+	if len(d.editors) > 0 {
+		countAttr(dist.AttrEditor)
+	}
+	for _, idx := range d.editors {
+		person, err := g.personTerm(idx)
+		if err != nil {
+			return err
+		}
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCEditor), person); err != nil {
+			return err
+		}
+	}
+	if d.erdosEd {
+		person, err := g.erdosTerm()
+		if err != nil {
+			return err
+		}
+		if err := g.triple(subj, rdf.IRI(rdf.SWRCEditor), person); err != nil {
+			return err
+		}
+	}
+
+	// Citations (rdf:Bag reference list).
+	if d.has(dist.AttrCite) {
+		if err := g.writeCitations(yr, d, subj); err != nil {
+			return err
+		}
+		countAttr(dist.AttrCite)
+	}
+
+	// Abstracts: ~1% of articles and inproceedings (Section IV).
+	if d.class == dist.ClassArticle || d.class == dist.ClassInproceedings {
+		if g.rng.Bernoulli(dist.AbstractFraction) {
+			n := g.rng.GaussCount(dist.AbstractGaussian.Mu, dist.AbstractGaussian.Sigma)
+			if err := g.triple(subj, rdf.IRI(rdf.BenchAbstract), rdf.String(g.words(n))); err != nil {
+				return err
+			}
+		}
+	}
+
+	g.stats.ClassCounts[d.class]++
+	g.yearSlot().Classes[d.class]++
+	g.stats.EndYear = yr
+	g.registerCitable(d.class, yr, d.seq)
+	return g.checkLimit()
+}
+
+// registerCitable adds the document to the citation urn so later
+// documents can reference it (preferential attachment produces the
+// power-law incoming citation distribution of Section III-D).
+func (g *Generator) registerCitable(c dist.Class, yr int, seq int32) {
+	switch c {
+	case dist.ClassArticle, dist.ClassInproceedings, dist.ClassIncollection, dist.ClassBook:
+		idx := int32(len(g.citeDocs))
+		g.citeDocs = append(g.citeDocs, docRef{class: c, year: int32(yr), seq: seq})
+		g.citeBalls = append(g.citeBalls, idx)
+	}
+}
+
+// writeCitations emits the document's reference list: a blank rdf:Bag
+// whose members point at already-written documents. Untargeted citations
+// (DBLP's empty cite tags) consume an outgoing slot without producing a
+// member, keeping incoming counts below outgoing counts.
+func (g *Generator) writeCitations(yr int, d *yearDoc, subj rdf.Term) error {
+	out := g.rng.GaussCount(dist.Cite.Mu, dist.Cite.Sigma)
+	g.stats.CitationHist[out]++
+	self := int32(len(g.citeDocs)) // this doc is not yet registered
+	bag := rdf.Blank("references_" + classSlugs[d.class].name + "_" + strconv.Itoa(yr) + "_" + strconv.Itoa(int(d.seq)))
+	wrote := 0
+	for i := 0; i < out; i++ {
+		if len(g.citeBalls) == 0 || !g.rng.Bernoulli(g.p.TargetedCitationFraction) {
+			continue
+		}
+		target := g.citeBalls[g.rng.Intn(len(g.citeBalls))]
+		if target == self {
+			continue
+		}
+		if wrote == 0 {
+			if err := g.triple(subj, rdf.IRI(rdf.DCTermsReferences), bag); err != nil {
+				return err
+			}
+			if err := g.triple(bag, rdf.IRI(rdf.RDFType), rdf.IRI(rdf.RDFBag)); err != nil {
+				return err
+			}
+		}
+		wrote++
+		ref := g.citeDocs[target]
+		turi := docURI(ref.class, int(ref.year), ref.seq)
+		if err := g.triple(bag, rdf.IRI(rdf.BagMember(wrote)), rdf.IRI(turi)); err != nil {
+			return err
+		}
+		g.citeBalls = append(g.citeBalls, target) // preferential attachment
+	}
+	return nil
+}
+
+// title produces a document title; journals and proceedings have the
+// fixed "Journal/Conference $i ($year)" form the queries rely on.
+func (g *Generator) title(yr int, d *yearDoc) string {
+	switch d.class {
+	case dist.ClassProceedings:
+		return "Conference " + strconv.Itoa(int(d.seq)) + " (" + strconv.Itoa(yr) + ")"
+	default:
+		return g.words(3 + g.rng.Intn(6))
+	}
+}
+
+func (g *Generator) booktitle(yr int, d *yearDoc) string {
+	switch d.class {
+	case dist.ClassInproceedings:
+		if d.container >= 0 {
+			return "Conference " + strconv.Itoa(int(d.container)+1) + " (" + strconv.Itoa(yr) + ")"
+		}
+	case dist.ClassIncollection:
+		if d.container >= 0 {
+			return "Book " + strconv.Itoa(int(d.container)+1) + " (" + strconv.Itoa(yr) + ")"
+		}
+	case dist.ClassProceedings:
+		return "Conference " + strconv.Itoa(int(d.seq)) + " (" + strconv.Itoa(yr) + ")"
+	}
+	return g.words(2 + g.rng.Intn(3))
+}
+
+func (g *Generator) pages() string {
+	start := 1 + g.rng.Intn(400)
+	return strconv.Itoa(start) + "-" + strconv.Itoa(start+1+g.rng.Intn(30))
+}
+
+func (g *Generator) isbn() string {
+	var b strings.Builder
+	for _, n := range []int{1, 3, 5, 1} {
+		if b.Len() > 0 {
+			b.WriteByte('-')
+		}
+		for i := 0; i < n; i++ {
+			b.WriteByte(byte('0' + g.rng.Intn(10)))
+		}
+	}
+	return b.String()
+}
+
+func (g *Generator) words(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(randomWords[g.rng.Intn(len(randomWords))])
+	}
+	return b.String()
+}

@@ -1,0 +1,382 @@
+// Package gen implements the SP2Bench data generator (Section IV of the
+// paper): a deterministic, year-by-year simulation producing arbitrarily
+// large DBLP-like RDF documents that mirror the distributions studied in
+// Section III — logistic growth of document classes, Gaussian repeated
+// attributes, power-law publication counts, the incomplete citation
+// system, blank-node persons, rdf:Bag reference lists, and the special
+// author Paul Erdős.
+//
+// Output is streamed in N-Triples with constant memory relative to the
+// document (author bookkeeping grows with the simulated community, as in
+// the original generator). Generation is incremental: a smaller triple
+// limit yields a byte-prefix of a larger one, and output is consistent at
+// every document boundary (referenced journals, proceedings and citation
+// targets are always already part of the document).
+package gen
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"sp2bench/internal/dist"
+	"sp2bench/internal/rdf"
+)
+
+// NSPublications prefixes all generated document URIs.
+const NSPublications = "http://localhost/publications/"
+
+// Params configures a generation run. The zero value is not valid; use
+// DefaultParams.
+type Params struct {
+	// Seed drives the deterministic RNG. Identical Params produce
+	// byte-identical documents on every platform.
+	Seed uint64
+	// TripleLimit stops generation once at least this many triples were
+	// written (generation finishes the current document, so the final
+	// count may exceed the limit by one document's worth of triples).
+	// Zero means no triple limit.
+	TripleLimit int64
+	// EndYear stops generation after simulating this year (inclusive).
+	// Zero means no year limit. At least one of TripleLimit and EndYear
+	// must be set.
+	EndYear int
+	// StartYear is the first simulated year (the paper's DBLP study
+	// effectively starts in 1936).
+	StartYear int
+	// TargetedCitationFraction is the probability that a generated
+	// outgoing citation points at an existing document. The remainder
+	// models DBLP's untargeted (empty) cite tags, which is why incoming
+	// citation counts stay below outgoing ones (Section III-D).
+	TargetedCitationFraction float64
+	// CollectDistributions records per-year histograms (publication
+	// counts per author, citation counts) for the Figure 2 experiments.
+	// It costs memory proportional to the community size.
+	CollectDistributions bool
+}
+
+// DefaultParams returns the paper-faithful configuration with the given
+// triple limit.
+func DefaultParams(tripleLimit int64) Params {
+	return Params{
+		Seed:                     1,
+		TripleLimit:              tripleLimit,
+		StartYear:                1936,
+		TargetedCitationFraction: 0.5,
+	}
+}
+
+// Stats summarizes a generation run; the benchmark harness renders
+// Tables III and VIII and the Figure 2 series from it.
+type Stats struct {
+	Triples int64
+	Bytes   int64
+	// StartYear and EndYear delimit the simulated (written) range;
+	// EndYear is the last year any triple was emitted for.
+	StartYear, EndYear int
+	// TotalAuthors counts dc:creator triples (the paper's "number of
+	// author attributes in the data set").
+	TotalAuthors int64
+	// DistinctAuthors counts distinct persons occurring as creators.
+	DistinctAuthors int
+	// ClassCounts counts written instances per document class.
+	ClassCounts [dist.NumClasses]int64
+	// Journals counts written journal entities.
+	Journals int64
+	// PerYear records written instances per (year, class) plus journals;
+	// index 0 is StartYear.
+	PerYear []YearCounts
+	// CitationHist maps an outgoing-citation count to the number of
+	// documents having exactly that many (targeted or not), i.e. the
+	// Figure 2(a) histogram.
+	CitationHist map[int]int
+	// PubCounts maps year -> publications-per-author histogram for that
+	// year (only with CollectDistributions), i.e. the Figure 2(c) series.
+	PubCounts map[int]map[int]int
+	// AttrCounts counts emitted attribute instances per (attr, class)
+	// and DocCounts the per-class denominators, enough to re-derive the
+	// Table IX probability matrix from the output.
+	AttrCounts [dist.NumAttrs][dist.NumClasses]int64
+}
+
+// YearCounts holds the per-year instance counts.
+type YearCounts struct {
+	Year     int
+	Classes  [dist.NumClasses]int
+	Journals int
+}
+
+// author is the per-person simulation state.
+type author struct {
+	first, last int32
+	suffix      int32
+	pubs        int32 // cumulative publication count
+	yearPubs    int32 // publications in the current simulation year
+	// lastYear is the author's most recent publishing year; authors
+	// inactive for longer than retireAfter years are not selected again
+	// (the paper's "life times" of authors, Section IV).
+	lastYear int16
+	// recent is a ring of recent coauthors; drawing from it biases the
+	// model toward repeat collaborations so that distinct coauthor counts
+	// stay well below total counts (µ_dcoauth = x^0.81 vs µ_coauth =
+	// 2.12x, Section III-C).
+	recent  [8]int32
+	recentN int8
+	// emitted: person triples written; countedCreator: already counted in
+	// the distinct-author statistic.
+	emitted        bool
+	countedCreator bool
+}
+
+// docRef compactly identifies a written, citable document.
+type docRef struct {
+	class dist.Class
+	year  int32
+	seq   int32
+}
+
+// errLimit signals that the triple limit has been reached (not an error
+// condition for the caller).
+var errLimit = fmt.Errorf("gen: triple limit reached")
+
+// Generator produces one document. Create with New, run with Generate.
+type Generator struct {
+	p     Params
+	rng   *RNG
+	w     *rdf.Writer
+	stats Stats
+
+	authors   []author
+	nameUsed  map[int64]int32 // (first<<32|last) -> occurrences
+	authBalls []int32         // preferential-attachment urn over authors
+	citeDocs  []docRef
+	citeBalls []int32 // urn over citeDocs indices
+
+	erdosEmitted bool
+	// erdosCircle marks authors that have co-published with Paul Erdős;
+	// his later publications prefer their papers (Q8 saturation).
+	erdosCircle map[int32]bool
+	// curYear is the year currently being simulated.
+	curYear int
+
+	// onYearStart, when set, is invoked before each simulated year with
+	// the writer flushed — the hook behind the update-stream extension
+	// (see updates.go).
+	onYearStart func(year int)
+}
+
+// New prepares a generator writing to w.
+func New(p Params, w io.Writer) (*Generator, error) {
+	if p.TripleLimit <= 0 && p.EndYear <= 0 {
+		return nil, fmt.Errorf("gen: need a triple limit or an end year")
+	}
+	if p.StartYear == 0 {
+		p.StartYear = 1936
+	}
+	if p.EndYear != 0 && p.EndYear < p.StartYear {
+		return nil, fmt.Errorf("gen: end year %d before start year %d", p.EndYear, p.StartYear)
+	}
+	if p.TargetedCitationFraction < 0 || p.TargetedCitationFraction > 1 {
+		return nil, fmt.Errorf("gen: targeted citation fraction %v outside [0,1]", p.TargetedCitationFraction)
+	}
+	return &Generator{
+		p:           p,
+		rng:         NewRNG(p.Seed),
+		w:           rdf.NewWriter(w),
+		nameUsed:    make(map[int64]int32),
+		erdosCircle: make(map[int32]bool),
+		stats: Stats{
+			StartYear:    p.StartYear,
+			CitationHist: make(map[int]int),
+			PubCounts:    make(map[int]map[int]int),
+		},
+	}, nil
+}
+
+// Generate runs the simulation and returns the statistics of the written
+// document.
+func (g *Generator) Generate() (*Stats, error) {
+	if err := g.emitSchema(); err != nil {
+		return nil, err
+	}
+	for yr := g.p.StartYear; ; yr++ {
+		if g.p.EndYear != 0 && yr > g.p.EndYear {
+			break
+		}
+		if g.onYearStart != nil {
+			if err := g.w.Flush(); err != nil {
+				return nil, err
+			}
+			g.onYearStart(yr)
+		}
+		err := g.runYear(yr)
+		if err == errLimit {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if g.p.TripleLimit > 0 && g.w.Count() >= g.p.TripleLimit {
+			break
+		}
+	}
+	if err := g.w.Flush(); err != nil {
+		return nil, err
+	}
+	g.stats.Triples = g.w.Count()
+	g.stats.Bytes = g.w.Bytes()
+	return &g.stats, nil
+}
+
+// classCounts evaluates the Section III-B growth curves for yr, with the
+// consistency fix-ups: articles need at least one journal, inproceedings
+// at least one proceedings.
+func (g *Generator) classCounts(yr int) (counts [dist.NumClasses]int, journals int) {
+	round := func(x float64) int {
+		if x < 0 {
+			return 0
+		}
+		return int(math.Floor(x + 0.5))
+	}
+	counts[dist.ClassArticle] = round(dist.Article.At(yr))
+	counts[dist.ClassInproceedings] = round(dist.Inproceedings.At(yr))
+	counts[dist.ClassProceedings] = round(dist.Proceedings.At(yr))
+	counts[dist.ClassBook] = round(dist.Book.At(yr))
+	counts[dist.ClassIncollection] = round(dist.Incollection.At(yr))
+	if yr >= dist.PhDStart {
+		counts[dist.ClassPhD] = g.rng.Intn(dist.PhDMax + 1)
+	}
+	if yr >= dist.MastersStart {
+		counts[dist.ClassMasters] = g.rng.Intn(dist.MastersMax + 1)
+	}
+	if yr >= dist.WWWStart {
+		counts[dist.ClassWWW] = g.rng.Intn(dist.WWWMax + 1)
+	}
+	journals = round(dist.Journal.At(yr))
+	if counts[dist.ClassArticle] > 0 && journals == 0 {
+		journals = 1
+	}
+	if counts[dist.ClassInproceedings] > 0 && counts[dist.ClassProceedings] == 0 {
+		counts[dist.ClassProceedings] = 1
+	}
+	return counts, journals
+}
+
+// yearDoc is the in-memory record of one document before it is written.
+type yearDoc struct {
+	class    dist.Class
+	seq      int32
+	attrs    uint32 // bit i = dist.Attr(i) present
+	authors  []int32
+	editors  []int32
+	erdosAut bool
+	erdosEd  bool
+	// container is the index (per year) of the journal (articles),
+	// proceedings (inproceedings) or book (incollections) the document
+	// belongs to; -1 when unassigned.
+	container int32
+}
+
+func (d *yearDoc) has(a dist.Attr) bool { return d.attrs&(1<<uint(a)) != 0 }
+func (d *yearDoc) set(a dist.Attr)      { d.attrs |= 1 << uint(a) }
+func (d *yearDoc) clear(a dist.Attr)    { d.attrs &^= 1 << uint(a) }
+
+// runYear simulates one year following the algorithm of Figure 4.
+func (g *Generator) runYear(yr int) error {
+	g.curYear = yr
+	counts, numJournals := g.classCounts(yr)
+
+	// Generate document skeletons with their attribute sets.
+	var docs []*yearDoc
+	perClass := [dist.NumClasses][]*yearDoc{}
+	for c := dist.Class(0); c < dist.NumClasses; c++ {
+		for i := 0; i < counts[c]; i++ {
+			d := &yearDoc{class: c, seq: int32(i + 1), container: -1}
+			for a := dist.Attr(0); a < dist.NumAttrs; a++ {
+				if g.rng.Bernoulli(dist.Prob(a, c)) {
+					d.set(a)
+				}
+			}
+			docs = append(docs, d)
+			perClass[c] = append(perClass[c], d)
+		}
+	}
+
+	// Containment: articles to journals, inproceedings to proceedings,
+	// incollections to books.
+	for _, d := range perClass[dist.ClassArticle] {
+		if numJournals > 0 {
+			d.container = int32(g.rng.Intn(numJournals))
+		} else {
+			d.clear(dist.AttrJournal)
+		}
+	}
+	for _, d := range perClass[dist.ClassInproceedings] {
+		if n := len(perClass[dist.ClassProceedings]); n > 0 {
+			d.container = int32(g.rng.Intn(n))
+		} else {
+			d.clear(dist.AttrCrossref)
+		}
+	}
+	for _, d := range perClass[dist.ClassIncollection] {
+		if n := len(perClass[dist.ClassBook]); n > 0 {
+			d.container = int32(g.rng.Intn(n))
+		} else {
+			d.clear(dist.AttrCrossref)
+		}
+	}
+
+	g.assignAuthors(yr, docs)
+	g.assignEditors(yr, docs)
+	g.assignErdos(yr, docs, perClass[dist.ClassProceedings])
+
+	// Write, journals first, then classes in DTD dependency order:
+	// containers (proceedings, books) before their members.
+	g.recordYear(yr)
+	if err := g.writeJournals(yr, numJournals); err != nil {
+		return err
+	}
+	writeOrder := []dist.Class{
+		dist.ClassProceedings, dist.ClassBook, dist.ClassArticle,
+		dist.ClassInproceedings, dist.ClassIncollection, dist.ClassPhD,
+		dist.ClassMasters, dist.ClassWWW,
+	}
+	for _, c := range writeOrder {
+		for _, d := range perClass[c] {
+			if err := g.writeDoc(yr, d); err != nil {
+				return err
+			}
+		}
+	}
+	g.finishYearStats(yr)
+	return nil
+}
+
+// recordYear appends the PerYear slot for yr (counts are filled as
+// documents are actually written, so truncation is reflected).
+func (g *Generator) recordYear(yr int) {
+	g.stats.PerYear = append(g.stats.PerYear, YearCounts{Year: yr})
+}
+
+func (g *Generator) yearSlot() *YearCounts {
+	return &g.stats.PerYear[len(g.stats.PerYear)-1]
+}
+
+// finishYearStats captures per-year distribution histograms and resets
+// per-year author state.
+func (g *Generator) finishYearStats(yr int) {
+	if g.p.CollectDistributions {
+		hist := make(map[int]int)
+		for i := range g.authors {
+			if g.authors[i].yearPubs > 0 {
+				hist[int(g.authors[i].yearPubs)]++
+			}
+		}
+		if len(hist) > 0 {
+			g.stats.PubCounts[yr] = hist
+		}
+	}
+	for i := range g.authors {
+		g.authors[i].yearPubs = 0
+	}
+}

@@ -1,0 +1,534 @@
+package gen
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"sp2bench/internal/dist"
+	"sp2bench/internal/rdf"
+)
+
+func generate(t *testing.T, p Params) ([]byte, *Stats) {
+	t.Helper()
+	var buf bytes.Buffer
+	g, err := New(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), stats
+}
+
+func readAll(t *testing.T, doc []byte) []rdf.Triple {
+	t.Helper()
+	triples, err := rdf.NewReader(bytes.NewReader(doc)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return triples
+}
+
+func TestDeterminism(t *testing.T) {
+	p := DefaultParams(20_000)
+	doc1, _ := generate(t, p)
+	doc2, _ := generate(t, p)
+	if sha256.Sum256(doc1) != sha256.Sum256(doc2) {
+		t.Fatal("same parameters must produce byte-identical documents")
+	}
+}
+
+func TestSeedChangesOutput(t *testing.T) {
+	p1 := DefaultParams(5_000)
+	p2 := DefaultParams(5_000)
+	p2.Seed = 99
+	doc1, _ := generate(t, p1)
+	doc2, _ := generate(t, p2)
+	if bytes.Equal(doc1, doc2) {
+		t.Fatal("different seeds must produce different documents")
+	}
+}
+
+// TestIncrementalPrefix pins the paper's incremental-generation property:
+// "small documents are always contained in larger documents".
+func TestIncrementalPrefix(t *testing.T) {
+	small, _ := generate(t, DefaultParams(5_000))
+	large, _ := generate(t, DefaultParams(20_000))
+	if !bytes.HasPrefix(large, small) {
+		t.Fatal("the 5k document must be a byte-prefix of the 20k document")
+	}
+}
+
+// TestIncrementalPrefixProperty: for any pair of limits a < b, the
+// a-limited document is a byte prefix of the b-limited one.
+func TestIncrementalPrefixProperty(t *testing.T) {
+	limits := []int64{500, 1_500, 3_000, 8_000, 15_000}
+	docs := make([][]byte, len(limits))
+	for i, l := range limits {
+		docs[i], _ = generate(t, DefaultParams(l))
+	}
+	for i := 1; i < len(docs); i++ {
+		if !bytes.HasPrefix(docs[i], docs[i-1]) {
+			t.Fatalf("document at limit %d is not a prefix of limit %d", limits[i-1], limits[i])
+		}
+	}
+}
+
+func TestTripleLimitAccuracy(t *testing.T) {
+	for _, limit := range []int64{1_000, 10_000, 40_000} {
+		doc, stats := generate(t, DefaultParams(limit))
+		if stats.Triples < limit {
+			t.Errorf("limit %d: produced only %d triples", limit, stats.Triples)
+		}
+		// Generation stops at a document boundary, so the overshoot is at
+		// most one document's worth of triples (citation bags included).
+		if stats.Triples > limit+500 {
+			t.Errorf("limit %d: overshot to %d", limit, stats.Triples)
+		}
+		if got := int64(len(readAll(t, doc))); got != stats.Triples {
+			t.Errorf("limit %d: stats say %d triples, document has %d", limit, stats.Triples, got)
+		}
+	}
+}
+
+func TestEndYearMode(t *testing.T) {
+	p := Params{Seed: 1, EndYear: 1950, StartYear: 1936, TargetedCitationFraction: 0.5}
+	doc, stats := generate(t, p)
+	if stats.EndYear != 1950 {
+		t.Fatalf("EndYear = %d, want 1950", stats.EndYear)
+	}
+	for _, tr := range readAll(t, doc) {
+		if tr.P.Value == rdf.DCTermsIssued {
+			if tr.O.Value > "1950" && len(tr.O.Value) == 4 {
+				t.Fatalf("found year %s beyond the limit", tr.O.Value)
+			}
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	cases := []Params{
+		{}, // no limit at all
+		{TripleLimit: 100, StartYear: 1990, EndYear: 1980}, // end before start
+		{TripleLimit: 100, TargetedCitationFraction: 1.5},  // bad fraction
+		{TripleLimit: 100, TargetedCitationFraction: -0.1},
+	}
+	for i, p := range cases {
+		if _, err := New(p, io.Discard); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, p)
+		}
+	}
+}
+
+func TestSchemaLayerPresent(t *testing.T) {
+	doc, _ := generate(t, DefaultParams(1_000))
+	triples := readAll(t, doc)
+	sub := map[string]bool{}
+	for _, tr := range triples {
+		if tr.P.Value == rdf.RDFSSubClass && tr.O.Value == rdf.FOAFDocument {
+			sub[tr.S.Value] = true
+		}
+	}
+	for _, class := range rdf.DocumentClasses {
+		if !sub[class] {
+			t.Errorf("schema triple missing: %s rdfs:subClassOf foaf:Document", class)
+		}
+	}
+}
+
+// TestReferentialConsistency pins the paper's consistency guarantee:
+// at any document boundary, every referenced entity exists in the output.
+func TestReferentialConsistency(t *testing.T) {
+	doc, _ := generate(t, DefaultParams(30_000))
+	triples := readAll(t, doc)
+	typed := map[string]bool{}
+	for _, tr := range triples {
+		if tr.P.Value == rdf.RDFType {
+			typed[tr.S.String()] = true
+		}
+	}
+	for _, tr := range triples {
+		switch tr.P.Value {
+		case rdf.SWRCJournal, rdf.DCTermsPartOf:
+			if !typed[tr.O.String()] {
+				t.Fatalf("%s points to undefined entity %s", tr.P.Value, tr.O)
+			}
+		case rdf.DCCreator, rdf.SWRCEditor:
+			if !typed[tr.O.String()] {
+				t.Fatalf("person %s referenced before definition", tr.O)
+			}
+		}
+		if strings.HasPrefix(tr.P.Value, rdf.NSRDF+"_") {
+			if !typed[tr.O.String()] {
+				t.Fatalf("citation member %s points to undefined document %s", tr.P.Value, tr.O)
+			}
+		}
+	}
+}
+
+func TestQ1JournalExists(t *testing.T) {
+	doc, _ := generate(t, DefaultParams(10_000))
+	count := 0
+	for _, tr := range readAll(t, doc) {
+		if tr.P.Value == rdf.DCTitle && tr.O.Value == "Journal 1 (1940)" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("found %d journals titled 'Journal 1 (1940)', want exactly 1 (Q1)", count)
+	}
+}
+
+func TestErdosQuota(t *testing.T) {
+	// A year-limited document covering 1940-1945: Erdős must have exactly
+	// 10 publications per covered year and up to 2 editor roles.
+	p := Params{Seed: 1, EndYear: 1945, StartYear: 1936, TargetedCitationFraction: 0.5}
+	doc, _ := generate(t, p)
+	creator, editor, typeTriples, nameTriples := 0, 0, 0, 0
+	for _, tr := range readAll(t, doc) {
+		if tr.O.Value == rdf.PaulErdoes && tr.O.IsIRI() {
+			switch tr.P.Value {
+			case rdf.DCCreator:
+				creator++
+			case rdf.SWRCEditor:
+				editor++
+			}
+		}
+		if tr.S == rdf.IRI(rdf.PaulErdoes) {
+			switch tr.P.Value {
+			case rdf.RDFType:
+				typeTriples++
+			case rdf.FOAFName:
+				nameTriples++
+			}
+		}
+	}
+	years := 1945 - 1940 + 1
+	if creator != years*dist.ErdosPublications {
+		t.Errorf("Erdős creator triples = %d, want %d", creator, years*dist.ErdosPublications)
+	}
+	if editor > years*dist.ErdosEditorials {
+		t.Errorf("Erdős editor triples = %d, want <= %d", editor, years*dist.ErdosEditorials)
+	}
+	if typeTriples != 1 || nameTriples != 1 {
+		t.Errorf("Erdős person triples: type=%d name=%d, want 1/1", typeTriples, nameTriples)
+	}
+}
+
+// TestPersonPredicateInvariant pins the Q9 expectation: persons have
+// exactly the outgoing predicates {rdf:type, foaf:name} and the incoming
+// predicates {dc:creator, swrc:editor}.
+func TestPersonPredicateInvariant(t *testing.T) {
+	doc, _ := generate(t, DefaultParams(20_000))
+	triples := readAll(t, doc)
+	persons := map[string]bool{}
+	for _, tr := range triples {
+		if tr.P.Value == rdf.RDFType && tr.O.Value == rdf.FOAFPerson {
+			persons[tr.S.String()] = true
+		}
+	}
+	if len(persons) == 0 {
+		t.Fatal("document has no persons")
+	}
+	out := map[string]bool{}
+	in := map[string]bool{}
+	for _, tr := range triples {
+		if persons[tr.S.String()] {
+			out[tr.P.Value] = true
+		}
+		if persons[tr.O.String()] {
+			in[tr.P.Value] = true
+		}
+	}
+	if len(out) != 2 || !out[rdf.RDFType] || !out[rdf.FOAFName] {
+		t.Errorf("outgoing person predicates = %v, want {rdf:type, foaf:name}", out)
+	}
+	if len(in) != 2 || !in[rdf.DCCreator] || !in[rdf.SWRCEditor] {
+		t.Errorf("incoming person predicates = %v, want {dc:creator, swrc:editor}", in)
+	}
+}
+
+func TestPersonsAreBlankNodesExceptErdos(t *testing.T) {
+	doc, _ := generate(t, DefaultParams(10_000))
+	for _, tr := range readAll(t, doc) {
+		if tr.P.Value == rdf.RDFType && tr.O.Value == rdf.FOAFPerson {
+			if tr.S.IsIRI() && tr.S.Value != rdf.PaulErdoes {
+				t.Fatalf("person %s is a URI; only Paul Erdős may be", tr.S)
+			}
+		}
+	}
+}
+
+func TestPersonNamesUnique(t *testing.T) {
+	doc, _ := generate(t, DefaultParams(30_000))
+	names := map[string]string{}
+	for _, tr := range readAll(t, doc) {
+		if tr.P.Value != rdf.FOAFName {
+			continue
+		}
+		if prev, ok := names[tr.O.Value]; ok && prev != tr.S.String() {
+			t.Fatalf("name %q shared by %s and %s (names are keys, Q5a=Q5b depends on it)",
+				tr.O.Value, prev, tr.S)
+		}
+		names[tr.O.Value] = tr.S.String()
+	}
+}
+
+func TestCitationBags(t *testing.T) {
+	doc, _ := generate(t, DefaultParams(50_000))
+	triples := readAll(t, doc)
+	bagTyped := map[string]bool{}
+	referenced := map[string]bool{}
+	hasMember := map[string]bool{}
+	for _, tr := range triples {
+		if tr.P.Value == rdf.RDFType && tr.O.Value == rdf.RDFBag {
+			bagTyped[tr.S.String()] = true
+		}
+		if tr.P.Value == rdf.DCTermsReferences {
+			if !tr.O.IsBlank() {
+				t.Fatalf("reference list %s is not a blank node", tr.O)
+			}
+			referenced[tr.O.String()] = true
+		}
+		if strings.HasPrefix(tr.P.Value, rdf.NSRDF+"_") {
+			hasMember[tr.S.String()] = true
+		}
+	}
+	if len(referenced) == 0 {
+		t.Fatal("no citation bags in a 50k document")
+	}
+	for bag := range referenced {
+		if !bagTyped[bag] {
+			t.Errorf("bag %s lacks rdf:type rdf:Bag", bag)
+		}
+		if !hasMember[bag] {
+			t.Errorf("bag %s has no members", bag)
+		}
+	}
+}
+
+func TestStatsMatchDocument(t *testing.T) {
+	doc, stats := generate(t, DefaultParams(25_000))
+	triples := readAll(t, doc)
+	classCount := map[string]int64{}
+	var creators int64
+	journals := int64(0)
+	for _, tr := range triples {
+		if tr.P.Value == rdf.RDFType {
+			classCount[tr.O.Value]++
+		}
+		if tr.P.Value == rdf.DCCreator {
+			creators++
+		}
+	}
+	journals = classCount[rdf.BenchJournal]
+	if stats.Journals != journals {
+		t.Errorf("stats.Journals = %d, document has %d", stats.Journals, journals)
+	}
+	if stats.TotalAuthors != creators {
+		t.Errorf("stats.TotalAuthors = %d, document has %d dc:creator triples", stats.TotalAuthors, creators)
+	}
+	pairs := []struct {
+		class dist.Class
+		iri   string
+	}{
+		{dist.ClassArticle, rdf.BenchArticle},
+		{dist.ClassInproceedings, rdf.BenchInproceedings},
+		{dist.ClassProceedings, rdf.BenchProceedings},
+		{dist.ClassBook, rdf.BenchBook},
+		{dist.ClassIncollection, rdf.BenchIncollection},
+	}
+	for _, pc := range pairs {
+		if got := classCount[pc.iri]; stats.ClassCounts[pc.class] != got {
+			t.Errorf("stats count for %v = %d, document has %d",
+				pc.class, stats.ClassCounts[pc.class], got)
+		}
+	}
+	if int64(len(triples)) != stats.Triples {
+		t.Errorf("stats.Triples = %d, document has %d", stats.Triples, len(triples))
+	}
+	if stats.Bytes != int64(len(doc)) {
+		t.Errorf("stats.Bytes = %d, document has %d", stats.Bytes, len(doc))
+	}
+}
+
+// TestAttributeProbabilities verifies the generated document reproduces
+// Table IX for the high-volume attribute/class pairs, within sampling
+// tolerance.
+func TestAttributeProbabilities(t *testing.T) {
+	_, stats := generate(t, DefaultParams(100_000))
+	check := func(a dist.Attr, c dist.Class, tol float64) {
+		docs := stats.ClassCounts[c]
+		if docs < 100 {
+			t.Fatalf("too few %v documents (%d) for the check", c, docs)
+		}
+		got := float64(stats.AttrCounts[a][c]) / float64(docs)
+		want := dist.Prob(a, c)
+		if math.Abs(got-want) > tol {
+			t.Errorf("P(%v|%v) = %.4f, want %.4f ± %.3f", a, c, got, want, tol)
+		}
+	}
+	check(dist.AttrPages, dist.ClassArticle, 0.02)
+	check(dist.AttrJournal, dist.ClassArticle, 0.02)
+	check(dist.AttrNumber, dist.ClassArticle, 0.02)
+	check(dist.AttrTitle, dist.ClassArticle, 0.001)
+	check(dist.AttrYear, dist.ClassArticle, 0.001)
+	check(dist.AttrEE, dist.ClassArticle, 0.03)
+	check(dist.AttrPages, dist.ClassInproceedings, 0.03)
+	check(dist.AttrBooktitle, dist.ClassInproceedings, 0.001)
+	check(dist.AttrURL, dist.ClassInproceedings, 0.001)
+	// ISBN never describes articles: Q3c must stay empty.
+	if stats.AttrCounts[dist.AttrISBN][dist.ClassArticle] != 0 {
+		t.Error("articles must never carry swrc:isbn (Q3c)")
+	}
+}
+
+func TestAbstractFraction(t *testing.T) {
+	doc, stats := generate(t, DefaultParams(100_000))
+	abstracts := 0
+	for _, tr := range readAll(t, doc) {
+		if tr.P.Value == rdf.BenchAbstract {
+			abstracts++
+		}
+	}
+	eligible := stats.ClassCounts[dist.ClassArticle] + stats.ClassCounts[dist.ClassInproceedings]
+	frac := float64(abstracts) / float64(eligible)
+	if frac < 0.004 || frac > 0.02 {
+		t.Errorf("abstract fraction = %.4f, want ~0.01", frac)
+	}
+}
+
+func TestPerYearCountsSumToTotals(t *testing.T) {
+	_, stats := generate(t, DefaultParams(30_000))
+	var sums [dist.NumClasses]int64
+	journals := int64(0)
+	for _, yc := range stats.PerYear {
+		for c := dist.Class(0); c < dist.NumClasses; c++ {
+			sums[c] += int64(yc.Classes[c])
+		}
+		journals += int64(yc.Journals)
+	}
+	for c := dist.Class(0); c < dist.NumClasses; c++ {
+		if sums[c] != stats.ClassCounts[c] {
+			t.Errorf("per-year sum for %v = %d, total = %d", c, sums[c], stats.ClassCounts[c])
+		}
+	}
+	if journals != stats.Journals {
+		t.Errorf("per-year journal sum = %d, total = %d", journals, stats.Journals)
+	}
+}
+
+func TestDistributionCollection(t *testing.T) {
+	p := DefaultParams(50_000)
+	p.CollectDistributions = true
+	_, stats := generate(t, p)
+	if len(stats.PubCounts) == 0 {
+		t.Fatal("CollectDistributions must fill PubCounts")
+	}
+	// Publication counts must form a decreasing-tail (power-law-ish)
+	// histogram: count(1) must dominate.
+	for yr, hist := range stats.PubCounts {
+		if yr < stats.StartYear || yr > stats.EndYear {
+			t.Errorf("histogram year %d outside simulated range", yr)
+		}
+		max := 0
+		for x := range hist {
+			if x > max {
+				max = x
+			}
+		}
+		if hist[1] == 0 {
+			continue
+		}
+		if max > 1 && hist[max] > hist[1] {
+			t.Errorf("year %d: tail count %d exceeds head count %d", yr, hist[max], hist[1])
+		}
+	}
+	if len(stats.CitationHist) == 0 {
+		t.Fatal("citation histogram must be populated")
+	}
+}
+
+func TestRNGDeterminismAcrossRuns(t *testing.T) {
+	r1, r2 := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatal("same seed must yield the same sequence")
+		}
+	}
+}
+
+func TestRNGHelpers(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v outside [0,1)", f)
+		}
+		if n := r.Intn(10); n < 0 || n >= 10 {
+			t.Fatalf("Intn(10) = %d", n)
+		}
+		if c := r.GaussCount(5, 2); c < 1 {
+			t.Fatalf("GaussCount must clamp at 1, got %d", c)
+		}
+	}
+	if r.Bernoulli(0) {
+		t.Error("Bernoulli(0) must be false")
+	}
+	if !r.Bernoulli(1) {
+		t.Error("Bernoulli(1) must be true")
+	}
+	// Norm should produce roughly the right mean.
+	sum := 0.0
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += r.Norm(10, 3)
+	}
+	if mean := sum / float64(n); math.Abs(mean-10) > 0.2 {
+		t.Errorf("Norm mean = %v, want ~10", mean)
+	}
+}
+
+func TestRNGIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) must panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestGrowthShapes(t *testing.T) {
+	// Table VIII shapes: early documents lack books, theses and WWW
+	// documents entirely.
+	_, stats := generate(t, DefaultParams(10_000))
+	if stats.EndYear > 1960 {
+		t.Skipf("10k document unexpectedly reaches %d", stats.EndYear)
+	}
+	for _, c := range []dist.Class{dist.ClassPhD, dist.ClassMasters, dist.ClassWWW, dist.ClassBook} {
+		if stats.ClassCounts[c] != 0 {
+			t.Errorf("%v instances in a %d-era document", c, stats.EndYear)
+		}
+	}
+	// Articles and inproceedings dominate.
+	if stats.ClassCounts[dist.ClassArticle] < 10*stats.ClassCounts[dist.ClassProceedings] {
+		t.Error("articles must clearly dominate proceedings")
+	}
+}
+
+func TestDistinctVsTotalAuthors(t *testing.T) {
+	_, stats := generate(t, DefaultParams(50_000))
+	if stats.DistinctAuthors <= 0 || int64(stats.DistinctAuthors) > stats.TotalAuthors {
+		t.Fatalf("distinct=%d total=%d", stats.DistinctAuthors, stats.TotalAuthors)
+	}
+	ratio := float64(stats.DistinctAuthors) / float64(stats.TotalAuthors)
+	// Paper Table VIII: ratio around 0.4-0.65 at small scales.
+	if ratio < 0.25 || ratio > 0.9 {
+		t.Errorf("distinct/total author ratio = %.3f, outside plausible band", ratio)
+	}
+}

@@ -1,0 +1,85 @@
+package gen
+
+import "math"
+
+// RNG is a deterministic, platform-independent random number generator
+// (splitmix64). The paper requires data generation to be deterministic and
+// platform independent so that "experimental results from different
+// machines are comparable"; math/rand would satisfy this too, but its
+// sequence is not guaranteed stable across Go releases, whereas this
+// implementation is frozen here.
+type RNG struct {
+	state uint64
+	// spare caches the second value of the Box–Muller pair.
+	spare    float64
+	hasSpare bool
+}
+
+// NewRNG seeds a generator. The same seed always yields the same sequence.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next raw 64-bit value (splitmix64 step).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("gen: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Norm returns a normally distributed value with the given mean and
+// standard deviation (Box–Muller transform).
+func (r *RNG) Norm(mu, sigma float64) float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return mu + sigma*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return mu + sigma*u*m
+}
+
+// GaussCount draws a positive integer from the rounded Gaussian (the
+// discretized bell curves of Section III-A, clamped at the left limit
+// x = 1 the paper notes).
+func (r *RNG) GaussCount(mu, sigma float64) int {
+	n := int(math.Round(r.Norm(mu, sigma)))
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+package gen
+
+import (
+	"fmt"
+	"io"
+)
+
+// Update-stream generation: the extension the paper's conclusion proposes
+// ("Updates, for instance, could be realized by minor extensions to our
+// data generator"). Because generation is incremental and consistent at
+// document boundaries, a base document plus a stream of per-period deltas
+// is exactly the prefix structure the generator already produces — this
+// file exposes it.
+
+// switchWriter lets the generator redirect its output between segments
+// without disturbing the single rdf.Writer (whose byte/triple counters
+// must span the whole run for determinism).
+type switchWriter struct {
+	cur io.Writer
+}
+
+func (s *switchWriter) Write(p []byte) (int, error) { return s.cur.Write(p) }
+
+// UpdateStream generates a base document covering the years up to and
+// including splitYear, then one delta per subsequent year, delivered
+// through the sink callback. The concatenation of base and all deltas is
+// byte-identical to a single run with the same parameters (tested), so
+// every delta is a consistent, monotone addition: applying deltas in
+// order reproduces the larger documents of the benchmark protocol.
+//
+// The sink is called as sink(year) before each delta; it returns the
+// writer for that delta. The base segment uses the base writer.
+func UpdateStream(p Params, base io.Writer, splitYear int, sink func(year int) io.Writer) (*Stats, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("gen: UpdateStream needs a sink")
+	}
+	if p.EndYear == 0 {
+		return nil, fmt.Errorf("gen: UpdateStream needs an explicit EndYear")
+	}
+	if p.StartYear == 0 {
+		p.StartYear = 1936
+	}
+	if splitYear < p.StartYear || splitYear >= p.EndYear {
+		return nil, fmt.Errorf("gen: split year %d outside (%d, %d)", splitYear, p.StartYear, p.EndYear)
+	}
+	sw := &switchWriter{cur: base}
+	g, err := New(p, sw)
+	if err != nil {
+		return nil, err
+	}
+	g.onYearStart = func(year int) {
+		if year > splitYear {
+			sw.cur = sink(year)
+		}
+	}
+	return g.Generate()
+}

@@ -1,0 +1,118 @@
+package gen
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"sp2bench/internal/rdf"
+)
+
+func TestUpdateStreamConcatenationIdentity(t *testing.T) {
+	p := Params{Seed: 1, StartYear: 1936, EndYear: 1952, TargetedCitationFraction: 0.5}
+
+	// Reference: one continuous run.
+	var full bytes.Buffer
+	g, err := New(p, &full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Generate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Split run: base up to 1945, one delta per later year.
+	var base bytes.Buffer
+	deltas := map[int]*bytes.Buffer{}
+	var order []int
+	stats, err := UpdateStream(p, &base, 1945, func(year int) io.Writer {
+		buf := &bytes.Buffer{}
+		deltas[year] = buf
+		order = append(order, year)
+		return buf
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.EndYear != 1952 {
+		t.Fatalf("stream ended at %d, want 1952", stats.EndYear)
+	}
+	if len(order) != 1952-1945 {
+		t.Fatalf("got %d deltas, want %d", len(order), 1952-1945)
+	}
+
+	var joined bytes.Buffer
+	joined.Write(base.Bytes())
+	for _, yr := range order {
+		joined.Write(deltas[yr].Bytes())
+	}
+	if !bytes.Equal(joined.Bytes(), full.Bytes()) {
+		t.Fatal("base + deltas must be byte-identical to a continuous run")
+	}
+}
+
+func TestUpdateStreamDeltasAreConsistent(t *testing.T) {
+	// Every delta must reference only entities defined in the base, an
+	// earlier delta, or itself — the consistency property that makes the
+	// stream applicable as incremental updates.
+	p := Params{Seed: 1, StartYear: 1936, EndYear: 1950, TargetedCitationFraction: 0.5}
+	var base bytes.Buffer
+	deltas := map[int]*bytes.Buffer{}
+	var order []int
+	if _, err := UpdateStream(p, &base, 1944, func(year int) io.Writer {
+		buf := &bytes.Buffer{}
+		deltas[year] = buf
+		order = append(order, year)
+		return buf
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	defined := map[string]bool{}
+	digest := func(data []byte) []rdf.Triple {
+		ts, err := rdf.NewReader(bytes.NewReader(data)).ReadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+	check := func(ts []rdf.Triple, label string) {
+		for _, tr := range ts {
+			if tr.P.Value == rdf.RDFType {
+				defined[tr.S.String()] = true
+			}
+		}
+		for _, tr := range ts {
+			switch tr.P.Value {
+			case rdf.SWRCJournal, rdf.DCTermsPartOf, rdf.DCCreator, rdf.SWRCEditor:
+				if !defined[tr.O.String()] {
+					t.Fatalf("%s: dangling reference %s -> %s", label, tr.P.Value, tr.O)
+				}
+			}
+		}
+	}
+	check(digest(base.Bytes()), "base")
+	for _, yr := range order {
+		check(digest(deltas[yr].Bytes()), "delta")
+	}
+}
+
+func TestUpdateStreamValidation(t *testing.T) {
+	ok := func(year int) io.Writer { return io.Discard }
+	cases := []struct {
+		p     Params
+		split int
+		sink  func(int) io.Writer
+	}{
+		{Params{Seed: 1, EndYear: 1950}, 1945, nil},              // no sink
+		{Params{Seed: 1, TripleLimit: 100}, 1945, ok},            // no end year
+		{Params{Seed: 1, EndYear: 1950}, 1935, ok},               // split before start
+		{Params{Seed: 1, EndYear: 1950}, 1950, ok},               // split at end
+		{Params{Seed: 1, EndYear: 1950, StartYear: 1990}, 0, ok}, // end before start
+	}
+	for i, tc := range cases {
+		if _, err := UpdateStream(tc.p, io.Discard, tc.split, tc.sink); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"sp2bench/internal/dist"
+	"sp2bench/internal/gen"
+)
+
+// GeneratorExperiment runs the generator with distribution collection
+// enabled, producing the statistics behind Figure 2 and Table IX. The
+// document itself is discarded; only the statistics are kept.
+func GeneratorExperiment(tripleLimit int64, seed uint64) (*gen.Stats, error) {
+	p := gen.DefaultParams(tripleLimit)
+	p.Seed = seed
+	p.CollectDistributions = true
+	g, err := gen.New(p, io.Discard)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate()
+}
+
+// RenderFigure2a writes the outgoing-citation distribution of the
+// generated data next to the paper's Gaussian approximation d_cite
+// (Figure 2(a)): for documents with at least one outgoing citation, the
+// probability of having exactly x.
+func RenderFigure2a(w io.Writer, stats *gen.Stats) {
+	fmt.Fprintln(w, "Figure 2(a): distribution of (outgoing) citations")
+	total := 0
+	for _, n := range stats.CitationHist {
+		total += n
+	}
+	if total == 0 {
+		fmt.Fprintln(w, "no documents with citations in this document")
+		return
+	}
+	xs := make([]int, 0, len(stats.CitationHist))
+	for x := range stats.CitationHist {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	fmt.Fprintf(w, "%6s %12s %12s\n", "x", "measured", "approx")
+	for _, x := range xs {
+		measured := float64(stats.CitationHist[x]) / float64(total)
+		fmt.Fprintf(w, "%6d %12.5f %12.5f\n", x, measured, dist.Cite.P(float64(x)))
+	}
+}
+
+// RenderFigure2b writes per-year document class instance counts next to
+// the logistic approximations (Figure 2(b)).
+func RenderFigure2b(w io.Writer, stats *gen.Stats) {
+	fmt.Fprintln(w, "Figure 2(b): document class instances per year (measured vs approximation)")
+	fmt.Fprintf(w, "%6s %10s %10s %10s %10s %10s %10s %10s %10s\n",
+		"year", "proc", "~proc", "journal", "~journal", "inproc", "~inproc", "article", "~article")
+	for _, yc := range stats.PerYear {
+		fmt.Fprintf(w, "%6d %10d %10.1f %10d %10.1f %10d %10.1f %10d %10.1f\n",
+			yc.Year,
+			yc.Classes[dist.ClassProceedings], dist.Proceedings.At(yc.Year),
+			yc.Journals, dist.Journal.At(yc.Year),
+			yc.Classes[dist.ClassInproceedings], dist.Inproceedings.At(yc.Year),
+			yc.Classes[dist.ClassArticle], dist.Article.At(yc.Year),
+		)
+	}
+}
+
+// RenderFigure2c writes the authors-with-x-publications histogram for the
+// given years against the power-law estimate f_awp (Figure 2(c)). The
+// stats must come from a run with CollectDistributions.
+func RenderFigure2c(w io.Writer, stats *gen.Stats, years []int) {
+	fmt.Fprintln(w, "Figure 2(c): publication counts (measured vs power-law approximation)")
+	for _, yr := range years {
+		hist := stats.PubCounts[yr]
+		if len(hist) == 0 {
+			fmt.Fprintf(w, "year %d: no data (document too small)\n", yr)
+			continue
+		}
+		fpubl := publicationsIn(stats, yr)
+		fmt.Fprintf(w, "year %d (publications=%d)\n", yr, fpubl)
+		xs := make([]int, 0, len(hist))
+		for x := range hist {
+			xs = append(xs, x)
+		}
+		sort.Ints(xs)
+		fmt.Fprintf(w, "%6s %12s %12s\n", "x", "measured", "approx")
+		for _, x := range xs {
+			approx := dist.AuthorsWithPublications(x, yr, float64(fpubl))
+			if approx < 0 {
+				approx = 0
+			}
+			fmt.Fprintf(w, "%6d %12d %12.1f\n", x, hist[x], approx)
+		}
+	}
+}
+
+func publicationsIn(stats *gen.Stats, yr int) int {
+	for _, yc := range stats.PerYear {
+		if yc.Year != yr {
+			continue
+		}
+		total := 0
+		for c := dist.Class(0); c < dist.NumClasses; c++ {
+			if c == dist.ClassProceedings {
+				continue // proceedings are conferences, not publications
+			}
+			total += yc.Classes[c]
+		}
+		return total
+	}
+	return 0
+}
+
+// RenderTableIX compares the attribute probabilities measured in the
+// generated document against the input matrix (Tables I and IX), per
+// class, for the attributes the paper's Table I highlights.
+func RenderTableIX(w io.Writer, stats *gen.Stats) {
+	fmt.Fprintln(w, "Table I/IX: attribute probabilities, measured (generated doc) vs paper")
+	classes := []dist.Class{
+		dist.ClassArticle, dist.ClassInproceedings, dist.ClassProceedings,
+		dist.ClassBook, dist.ClassWWW,
+	}
+	fmt.Fprintf(w, "%-10s", "attr")
+	for _, c := range classes {
+		fmt.Fprintf(w, "%22s", c.String())
+	}
+	fmt.Fprintln(w)
+	attrs := []dist.Attr{
+		dist.AttrAuthor, dist.AttrCite, dist.AttrEditor, dist.AttrISBN,
+		dist.AttrJournal, dist.AttrMonth, dist.AttrPages, dist.AttrTitle,
+	}
+	for _, a := range attrs {
+		fmt.Fprintf(w, "%-10s", a.String())
+		for _, c := range classes {
+			docs := stats.ClassCounts[c]
+			measured := 0.0
+			if docs > 0 {
+				measured = float64(stats.AttrCounts[a][c]) / float64(docs)
+			}
+			fmt.Fprintf(w, "%10.4f /%9.4f", measured, dist.Prob(a, c))
+		}
+		fmt.Fprintln(w)
+	}
+}

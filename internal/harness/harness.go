@@ -1,0 +1,496 @@
+// Package harness implements the SP2Bench benchmark protocol of Section
+// VI: documents of increasing size, two engine families, per-query
+// timeouts, and the five metrics the paper proposes (success rate, loading
+// time, per-query performance, global performance as arithmetic/geometric
+// means, memory consumption). Its renderers reproduce every table and
+// figure of the paper's evaluation section.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"sp2bench/internal/engine"
+	"sp2bench/internal/gen"
+	"sp2bench/internal/queries"
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/sparql"
+	"sp2bench/internal/store"
+)
+
+// Scale is one document size of the benchmark protocol.
+type Scale struct {
+	Name    string
+	Triples int64
+}
+
+// DefaultScales returns the paper's document sizes up to 1M triples (the
+// laptop-scale default; pass larger scales explicitly for the 5M/25M
+// protocol).
+func DefaultScales() []Scale {
+	return []Scale{
+		{"10k", 10_000},
+		{"50k", 50_000},
+		{"250k", 250_000},
+		{"1M", 1_000_000},
+	}
+}
+
+// PaperScales returns the full protocol of the paper (10k..25M).
+func PaperScales() []Scale {
+	return append(DefaultScales(), Scale{"5M", 5_000_000}, Scale{"25M", 25_000_000})
+}
+
+// ParseScales resolves a comma-separated list of scale names
+// ("10k,50k,...") against the paper's protocol sizes.
+func ParseScales(s string) ([]Scale, error) {
+	known := map[string]Scale{}
+	for _, sc := range PaperScales() {
+		known[sc.Name] = sc
+	}
+	var out []Scale
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		sc, ok := known[name]
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown scale %q (want one of 10k,50k,250k,1M,5M,25M)", name)
+		}
+		out = append(out, sc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: no scales given")
+	}
+	return out, nil
+}
+
+// EngineSpec names one engine configuration under test.
+type EngineSpec struct {
+	Name string
+	Opts engine.Options
+}
+
+// DefaultEngines returns the two engine families the paper compares.
+func DefaultEngines() []EngineSpec {
+	return []EngineSpec{
+		{Name: "mem", Opts: engine.Mem()},
+		{Name: "native", Opts: engine.Native()},
+	}
+}
+
+// AblationEngines returns the native engine with each optimization
+// disabled in turn — the ablation axis for the design choices the paper's
+// optimization discussion calls out.
+func AblationEngines() []EngineSpec {
+	full := engine.Native()
+	noReorder := full
+	noReorder.Name, noReorder.ReorderPatterns = "native-noreorder", false
+	noPush := full
+	noPush.Name, noPush.PushFilters = "native-nopush", false
+	noHash := full
+	noHash.Name, noHash.HashLeftJoins = "native-nohashlj", false
+	noIndex := full
+	noIndex.Name, noIndex.UseIndexes = "native-noindex", false
+	return []EngineSpec{
+		{Name: "native", Opts: full},
+		{Name: "native-noreorder", Opts: noReorder},
+		{Name: "native-nopush", Opts: noPush},
+		{Name: "native-nohashlj", Opts: noHash},
+		{Name: "native-noindex", Opts: noIndex},
+	}
+}
+
+// Outcome classifies a query run, matching Table IV's legend.
+type Outcome int
+
+// The outcome classes of Table IV.
+const (
+	Success Outcome = iota
+	Timeout
+	MemoryExhausted
+	ExecError
+)
+
+// Letter returns the Table IV shortcut (+, T, M, E).
+func (o Outcome) Letter() string {
+	switch o {
+	case Success:
+		return "+"
+	case Timeout:
+		return "T"
+	case MemoryExhausted:
+		return "M"
+	default:
+		return "E"
+	}
+}
+
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "Success"
+	case Timeout:
+		return "Timeout"
+	case MemoryExhausted:
+		return "MemoryExhausted"
+	default:
+		return "Error"
+	}
+}
+
+// QueryRun is the measurement of one (engine, scale, query) cell.
+type QueryRun struct {
+	Query   string
+	Engine  string
+	Scale   string
+	Outcome Outcome
+	// Wall is elapsed time (the paper's tme); for in-memory engines it
+	// includes document loading when Config.ChargeLoadToMem is set, as
+	// the paper's in-memory engines parse the document per run.
+	Wall time.Duration
+	// User and Sys are process CPU time deltas (usr/sys).
+	User, Sys time.Duration
+	// Results is the solution count (valid on Success).
+	Results int
+	// MemPeak is the observed heap high watermark during the run.
+	MemPeak uint64
+	Err     string
+}
+
+// LoadStats records document loading (Section VI metric 2).
+type LoadStats struct {
+	Scale   string
+	Engine  string
+	Wall    time.Duration
+	Triples int
+}
+
+// Config tunes the benchmark protocol.
+type Config struct {
+	Scales  []Scale
+	Engines []EngineSpec
+	// QueryIDs restricts the query set (nil = all 17).
+	QueryIDs []string
+	// Timeout is the per-query limit (the paper uses 30 minutes; the
+	// default here is laptop-friendly).
+	Timeout time.Duration
+	// MemLimitBytes aborts a query when the heap exceeds it (0 = off).
+	MemLimitBytes uint64
+	// Runs is the number of measured runs per cell (paper: 3).
+	Runs int
+	// PenaltySeconds ranks failed queries in the global-performance
+	// means (paper: 3600).
+	PenaltySeconds float64
+	// ChargeLoadToMem adds document parse time to every in-memory-engine
+	// query, mirroring engines that load the file per query.
+	ChargeLoadToMem bool
+	// Seed feeds the generator.
+	Seed uint64
+	// WorkDir caches generated documents between runs ("" = temp dir).
+	WorkDir string
+	// Progress, when non-nil, receives one line per completed cell.
+	Progress io.Writer
+}
+
+// DefaultConfig returns a configuration that completes in minutes on a
+// laptop while preserving the paper's shapes.
+func DefaultConfig() Config {
+	return Config{
+		Scales:          DefaultScales(),
+		Engines:         DefaultEngines(),
+		Timeout:         15 * time.Second,
+		Runs:            1,
+		PenaltySeconds:  3600,
+		ChargeLoadToMem: true,
+		Seed:            1,
+	}
+}
+
+// Report aggregates everything a benchmark run produced; the renderers in
+// tables.go and figures.go turn it into the paper's tables and figures.
+type Report struct {
+	Config   Config
+	GenStats map[string]*gen.Stats
+	GenTime  map[string]time.Duration
+	Loading  []LoadStats
+	Runs     []QueryRun
+}
+
+// Runner executes the benchmark protocol.
+type Runner struct {
+	cfg  Config
+	docs map[string]string // scale name -> document path
+}
+
+// NewRunner validates the configuration.
+func NewRunner(cfg Config) (*Runner, error) {
+	if len(cfg.Scales) == 0 {
+		return nil, fmt.Errorf("harness: no scales configured")
+	}
+	if len(cfg.Engines) == 0 {
+		return nil, fmt.Errorf("harness: no engines configured")
+	}
+	if cfg.Timeout <= 0 {
+		return nil, fmt.Errorf("harness: timeout must be positive")
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 1
+	}
+	return &Runner{cfg: cfg, docs: map[string]string{}}, nil
+}
+
+func (r *Runner) progressf(format string, args ...any) {
+	if r.cfg.Progress != nil {
+		fmt.Fprintf(r.cfg.Progress, format, args...)
+	}
+}
+
+// Documents generates (or reuses) the benchmark documents and returns
+// their paths, recording generation time and stats into the report.
+func (r *Runner) Documents(rep *Report) error {
+	dir := r.cfg.WorkDir
+	if dir == "" {
+		dir = filepath.Join(os.TempDir(), "sp2bench-docs")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if rep.GenStats == nil {
+		rep.GenStats = map[string]*gen.Stats{}
+		rep.GenTime = map[string]time.Duration{}
+	}
+	for _, sc := range r.cfg.Scales {
+		path := filepath.Join(dir, fmt.Sprintf("sp2b-%s-seed%d.nt", sc.Name, r.cfg.Seed))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		p := gen.DefaultParams(sc.Triples)
+		p.Seed = r.cfg.Seed
+		g, err := gen.New(p, f)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		start := time.Now()
+		stats, err := g.Generate()
+		elapsed := time.Since(start)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("harness: generating %s: %w", sc.Name, err)
+		}
+		rep.GenStats[sc.Name] = stats
+		rep.GenTime[sc.Name] = elapsed
+		r.docs[sc.Name] = path
+		r.progressf("generated %s: %d triples in %v\n", sc.Name, stats.Triples, elapsed)
+	}
+	return nil
+}
+
+// Run executes the full protocol and returns the report.
+func (r *Runner) Run() (*Report, error) {
+	rep := &Report{Config: r.cfg}
+	if err := r.Documents(rep); err != nil {
+		return nil, err
+	}
+	qs := r.querySet()
+	for _, sc := range r.cfg.Scales {
+		st, parseTime, freezeTime, err := r.load(sc)
+		if err != nil {
+			return nil, err
+		}
+		for _, es := range r.cfg.Engines {
+			loadWall := parseTime
+			if es.Opts.UseIndexes {
+				loadWall += freezeTime
+			}
+			rep.Loading = append(rep.Loading, LoadStats{
+				Scale: sc.Name, Engine: es.Name, Wall: loadWall, Triples: st.Len(),
+			})
+			eng := engine.New(st, es.Opts)
+			for _, q := range qs {
+				run := r.runCell(eng, es, sc, q, parseTime)
+				rep.Runs = append(rep.Runs, run)
+				r.progressf("%-7s %-16s %-5s %-8s %12v results=%d\n",
+					sc.Name, es.Name, q.ID, run.Outcome, run.Wall.Round(time.Microsecond), run.Results)
+			}
+		}
+	}
+	return rep, nil
+}
+
+func (r *Runner) querySet() []queries.Query {
+	if len(r.cfg.QueryIDs) == 0 {
+		return queries.All()
+	}
+	var out []queries.Query
+	for _, id := range r.cfg.QueryIDs {
+		q, ok := queries.ByID(id)
+		if !ok {
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// load parses a document and freezes the store, reporting the two phases
+// separately (in-memory engines pay only the parse, native engines pay
+// parse plus index construction).
+func (r *Runner) load(sc Scale) (*store.Store, time.Duration, time.Duration, error) {
+	f, err := os.Open(r.docs[sc.Name])
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	defer f.Close()
+	st := store.New()
+	start := time.Now()
+	nr := rdf.NewReader(f)
+	for {
+		t, err := nr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		st.Add(t)
+	}
+	parse := time.Since(start)
+	start = time.Now()
+	st.Freeze()
+	freeze := time.Since(start)
+	return st, parse, freeze, nil
+}
+
+// runCell measures one (engine, scale, query) cell over cfg.Runs runs and
+// keeps the average of the successful protocol (the paper averages three
+// runs).
+func (r *Runner) runCell(eng *engine.Engine, es EngineSpec, sc Scale, q queries.Query, parseTime time.Duration) QueryRun {
+	var agg QueryRun
+	agg.Query, agg.Engine, agg.Scale = q.ID, es.Name, sc.Name
+	var totalWall, totalUser, totalSys time.Duration
+	for i := 0; i < r.cfg.Runs; i++ {
+		one := r.runOnce(eng, q)
+		if one.Outcome != Success {
+			one.Query, one.Engine, one.Scale = q.ID, es.Name, sc.Name
+			if r.cfg.ChargeLoadToMem && !es.Opts.UseIndexes {
+				one.Wall += parseTime
+			}
+			return one
+		}
+		totalWall += one.Wall
+		totalUser += one.User
+		totalSys += one.Sys
+		agg.Results = one.Results
+		if one.MemPeak > agg.MemPeak {
+			agg.MemPeak = one.MemPeak
+		}
+	}
+	agg.Outcome = Success
+	agg.Wall = totalWall / time.Duration(r.cfg.Runs)
+	agg.User = totalUser / time.Duration(r.cfg.Runs)
+	agg.Sys = totalSys / time.Duration(r.cfg.Runs)
+	if r.cfg.ChargeLoadToMem && !es.Opts.UseIndexes {
+		agg.Wall += parseTime
+	}
+	return agg
+}
+
+func (r *Runner) runOnce(eng *engine.Engine, q queries.Query) QueryRun {
+	var run QueryRun
+	pq, err := sparql.Parse(q.Text, queries.Prologue)
+	if err != nil {
+		run.Outcome = ExecError
+		run.Err = err.Error()
+		return run
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+	defer cancel()
+
+	memHit, memPeak := watchMemory(ctx, cancel, r.cfg.MemLimitBytes)
+
+	startU, startS := cpuTimes()
+	start := time.Now()
+	n, err := eng.Count(ctx, pq)
+	run.Wall = time.Since(start)
+	endU, endS := cpuTimes()
+	run.User, run.Sys = endU-startU, endS-startS
+	run.MemPeak = memPeak.Load()
+
+	switch {
+	case err == nil:
+		run.Outcome = Success
+		run.Results = n
+	case memHit.Load():
+		run.Outcome = MemoryExhausted
+		run.Err = "memory limit exceeded"
+	case ctx.Err() != nil:
+		run.Outcome = Timeout
+		run.Err = ctx.Err().Error()
+	default:
+		run.Outcome = ExecError
+		run.Err = err.Error()
+	}
+	return run
+}
+
+// watchMemory samples the heap high watermark and cancels the query when
+// the limit is exceeded, classifying the paper's "Memory Exhaustion"
+// outcome.
+func watchMemory(ctx context.Context, cancel context.CancelFunc, limit uint64) (*atomic.Bool, *atomic.Uint64) {
+	hit := &atomic.Bool{}
+	peak := &atomic.Uint64{}
+	go func() {
+		var ms runtime.MemStats
+		tick := time.NewTicker(10 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak.Load() {
+					peak.Store(ms.HeapAlloc)
+				}
+				if limit > 0 && ms.HeapAlloc > limit {
+					hit.Store(true)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+	return hit, peak
+}
+
+// SortRuns orders runs by (scale order, engine, query) for stable output.
+func (rep *Report) SortRuns() {
+	order := map[string]int{}
+	for i, sc := range rep.Config.Scales {
+		order[sc.Name] = i
+	}
+	sort.SliceStable(rep.Runs, func(i, j int) bool {
+		a, b := rep.Runs[i], rep.Runs[j]
+		if order[a.Scale] != order[b.Scale] {
+			return order[a.Scale] < order[b.Scale]
+		}
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		return a.Query < b.Query
+	})
+}

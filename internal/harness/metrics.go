@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"math"
+	"sort"
+)
+
+// Means is the paper's GLOBAL PERFORMANCE metric for one (engine, scale):
+// arithmetic and geometric mean of per-query execution times in seconds,
+// failed queries ranked with the penalty (Section VI-B metric 4), plus the
+// arithmetic mean of memory consumption (metric 5).
+type Means struct {
+	Engine string
+	Scale  string
+	// Arithmetic and Geometric are in seconds.
+	Arithmetic float64
+	Geometric  float64
+	// MemMeanBytes is the average heap high watermark across queries.
+	MemMeanBytes float64
+	// Queries and Failures count the cells aggregated.
+	Queries  int
+	Failures int
+}
+
+// GlobalMeans computes the Means for every (engine, scale) pair of the
+// report, ordered by scale then engine.
+func (rep *Report) GlobalMeans() []Means {
+	type key struct{ eng, sc string }
+	acc := map[key]*Means{}
+	var order []key
+	for _, run := range rep.Runs {
+		k := key{run.Engine, run.Scale}
+		m, ok := acc[k]
+		if !ok {
+			m = &Means{Engine: run.Engine, Scale: run.Scale}
+			acc[k] = m
+			order = append(order, k)
+		}
+		secs := run.Wall.Seconds()
+		if run.Outcome != Success {
+			secs = rep.Config.PenaltySeconds
+			m.Failures++
+		}
+		m.Arithmetic += secs
+		if secs <= 0 {
+			secs = 1e-9 // a zero would collapse the geometric mean
+		}
+		m.Geometric += math.Log(secs)
+		m.MemMeanBytes += float64(run.MemPeak)
+		m.Queries++
+	}
+	scaleOrder := map[string]int{}
+	for i, sc := range rep.Config.Scales {
+		scaleOrder[sc.Name] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if scaleOrder[order[i].sc] != scaleOrder[order[j].sc] {
+			return scaleOrder[order[i].sc] < scaleOrder[order[j].sc]
+		}
+		return order[i].eng < order[j].eng
+	})
+	out := make([]Means, 0, len(order))
+	for _, k := range order {
+		m := acc[k]
+		if m.Queries > 0 {
+			m.Arithmetic /= float64(m.Queries)
+			m.Geometric = math.Exp(m.Geometric / float64(m.Queries))
+			m.MemMeanBytes /= float64(m.Queries)
+		}
+		out = append(out, *m)
+	}
+	return out
+}
+
+// SuccessMatrix returns, per engine, a map scale -> query -> outcome (the
+// SUCCESS RATE metric rendered as Table IV).
+func (rep *Report) SuccessMatrix() map[string]map[string]map[string]Outcome {
+	out := map[string]map[string]map[string]Outcome{}
+	for _, run := range rep.Runs {
+		eng, ok := out[run.Engine]
+		if !ok {
+			eng = map[string]map[string]Outcome{}
+			out[run.Engine] = eng
+		}
+		sc, ok := eng[run.Scale]
+		if !ok {
+			sc = map[string]Outcome{}
+			eng[run.Scale] = sc
+		}
+		sc[run.Query] = run.Outcome
+	}
+	return out
+}
+
+// ResultSizes returns scale -> query -> result count from the most
+// reliable engine available (preferring successful runs; Table V).
+func (rep *Report) ResultSizes() map[string]map[string]int {
+	out := map[string]map[string]int{}
+	for _, run := range rep.Runs {
+		if run.Outcome != Success {
+			continue
+		}
+		sc, ok := out[run.Scale]
+		if !ok {
+			sc = map[string]int{}
+			out[run.Scale] = sc
+		}
+		sc[run.Query] = run.Results
+	}
+	return out
+}
+
+// Run finds the measurement of one cell.
+func (rep *Report) Run(engine, scale, query string) (QueryRun, bool) {
+	for _, run := range rep.Runs {
+		if run.Engine == engine && run.Scale == scale && run.Query == query {
+			return run, true
+		}
+	}
+	return QueryRun{}, false
+}

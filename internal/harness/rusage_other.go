@@ -1,0 +1,9 @@
+//go:build !linux && !darwin
+
+package harness
+
+import "time"
+
+// cpuTimes is unavailable on this platform; usr/sys report as zero and
+// reports fall back to wall-clock time only.
+func cpuTimes() (user, sys time.Duration) { return 0, 0 }

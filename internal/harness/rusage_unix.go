@@ -1,0 +1,23 @@
+//go:build linux || darwin
+
+package harness
+
+import (
+	"syscall"
+	"time"
+)
+
+// cpuTimes returns the process' cumulative user and system CPU time, the
+// usr/sys measurements of the paper's protocol (taken from /proc there,
+// from getrusage here).
+func cpuTimes() (user, sys time.Duration) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, 0
+	}
+	return tvDuration(ru.Utime), tvDuration(ru.Stime)
+}
+
+func tvDuration(tv syscall.Timeval) time.Duration {
+	return time.Duration(tv.Sec)*time.Second + time.Duration(tv.Usec)*time.Microsecond
+}

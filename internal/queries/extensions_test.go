@@ -1,0 +1,42 @@
+package queries
+
+import (
+	"testing"
+
+	"sp2bench/internal/sparql"
+)
+
+func TestExtensionCatalog(t *testing.T) {
+	exts := Extensions()
+	if len(exts) != 5 {
+		t.Fatalf("extension catalog has %d queries, want 5", len(exts))
+	}
+	for _, q := range exts {
+		if q.Description == "" {
+			t.Errorf("%s lacks a description", q.ID)
+		}
+	}
+	if _, ok := ExtensionByID("qx3"); !ok {
+		t.Error("ExtensionByID(qx3) failed")
+	}
+	if _, ok := ExtensionByID("qx99"); ok {
+		t.Error("ExtensionByID(qx99) should fail")
+	}
+}
+
+func TestExtensionQueriesParseAsAggregates(t *testing.T) {
+	for _, q := range Extensions() {
+		t.Run(q.ID, func(t *testing.T) {
+			parsed, err := sparql.Parse(q.Text, Prologue)
+			if err != nil {
+				t.Fatalf("%s does not parse: %v", q.ID, err)
+			}
+			if !parsed.IsAggregate() {
+				t.Errorf("%s must use the aggregation extension", q.ID)
+			}
+			if len(parsed.Aggregates) == 0 {
+				t.Errorf("%s has no aggregate items", q.ID)
+			}
+		})
+	}
+}

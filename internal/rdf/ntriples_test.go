@@ -1,0 +1,237 @@
+package rdf
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriterBasic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	triples := []Triple{
+		NewTriple(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o")),
+		NewTriple(Blank("b1"), IRI("http://x/p"), String("hello world")),
+		NewTriple(IRI("http://x/s"), IRI("http://x/p"), Integer(1940)),
+	}
+	for _, tr := range triples {
+		if err := w.WriteTriple(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 3 {
+		t.Errorf("Count = %d, want 3", w.Count())
+	}
+	if w.Bytes() != int64(buf.Len()) {
+		t.Errorf("Bytes = %d, buffer has %d", w.Bytes(), buf.Len())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	if lines[0] != "<http://x/s> <http://x/p> <http://x/o> ." {
+		t.Errorf("unexpected line: %q", lines[0])
+	}
+}
+
+func TestReaderRoundTrip(t *testing.T) {
+	triples := []Triple{
+		NewTriple(IRI("http://x/s"), IRI("http://x/p"), IRI("http://x/o")),
+		NewTriple(Blank("Paul_Erdoes"), IRI(RDFType), IRI(FOAFPerson)),
+		NewTriple(IRI("http://x/s"), IRI(DCTitle), String("Journal 1 (1940)")),
+		NewTriple(IRI("http://x/s"), IRI(DCTermsIssued), Integer(1940)),
+		NewTriple(IRI("http://x/s"), IRI(BenchAbstract), Literal(`escaped "quote" and \ backslash`)),
+		NewTriple(Blank("refs1"), IRI(BagMember(3)), IRI("http://x/target")),
+		NewTriple(IRI("http://x/s"), IRI("http://x/p"), Literal("tab\there\nnewline")),
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, tr := range triples {
+		if err := w.WriteTriple(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(triples) {
+		t.Fatalf("read %d triples, wrote %d", len(got), len(triples))
+	}
+	for i := range triples {
+		if got[i] != triples[i] {
+			t.Errorf("triple %d: got %v, want %v", i, got[i], triples[i])
+		}
+	}
+}
+
+// TestRoundTripProperty: any triple assembled from reasonable terms
+// survives a write/read cycle unchanged.
+func TestRoundTripProperty(t *testing.T) {
+	sanitize := func(s string) string {
+		// IRIs and blank labels must avoid structural characters; the
+		// generator guarantees this, the codec does not re-escape them.
+		clean := strings.Map(func(r rune) rune {
+			if r == '>' || r == ' ' || r == '\t' || r == '\n' || r == '\r' || r < 0x20 {
+				return 'x'
+			}
+			return r
+		}, s)
+		return "v" + clean
+	}
+	f := func(s1, p1, lex string, kind uint8, dt uint8) bool {
+		var subj Term
+		if kind%2 == 0 {
+			subj = IRI("http://x/" + sanitize(s1))
+		} else {
+			subj = Blank(sanitize(s1))
+		}
+		pred := IRI("http://x/" + sanitize(p1))
+		var obj Term
+		switch dt % 4 {
+		case 0:
+			obj = Literal(lex)
+		case 1:
+			obj = String(lex)
+		case 2:
+			obj = IRI("http://x/" + sanitize(lex))
+		default:
+			obj = Blank(sanitize(lex))
+		}
+		in := NewTriple(subj, pred, obj)
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.WriteTriple(in); err != nil {
+			return false
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		out, err := NewReader(&buf).ReadAll()
+		return err == nil && len(out) == 1 && out[0] == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
+	input := `# a comment
+<http://x/a> <http://x/p> <http://x/b> .
+
+	# indented comment
+<http://x/c> <http://x/p> "lit" .
+`
+	got, err := NewReader(strings.NewReader(input)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d triples, want 2", len(got))
+	}
+}
+
+func TestReaderLanguageTagAcceptedAndDropped(t *testing.T) {
+	input := `<http://x/a> <http://x/p> "hallo"@de .` + "\n"
+	got, err := NewReader(strings.NewReader(input)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].O != Literal("hallo") {
+		t.Fatalf("language-tagged literal mishandled: %v", got)
+	}
+}
+
+func TestReaderErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		input string
+	}{
+		{"missing dot", `<http://x/a> <http://x/p> <http://x/b>`},
+		{"literal subject", `"lit" <http://x/p> <http://x/b> .`},
+		{"blank predicate", `<http://x/a> _:b <http://x/b> .`},
+		{"literal predicate", `<http://x/a> "p" <http://x/b> .`},
+		{"unterminated iri", `<http://x/a <http://x/p> <http://x/b> .`},
+		{"unterminated literal", `<http://x/a> <http://x/p> "oops .`},
+		{"empty iri", `<> <http://x/p> <http://x/b> .`},
+		{"garbage", `?!$ nonsense`},
+		{"trailing content", `<http://x/a> <http://x/p> <http://x/b> . extra`},
+		{"dangling escape", `<http://x/a> <http://x/p> "x\` + "\n"},
+		{"unknown escape", `<http://x/a> <http://x/p> "x\q" .`},
+		{"malformed blank", `_b <http://x/p> <http://x/b> .`},
+		{"empty blank label", `_: <http://x/p> <http://x/b> .`},
+		{"missing datatype iri", `<http://x/a> <http://x/p> "x"^^string .`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewReader(strings.NewReader(tc.input)).ReadAll()
+			if err == nil {
+				t.Errorf("expected parse error for %q", tc.input)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Errorf("error %v is not a *ParseError", err)
+			} else if pe.Line != 1 {
+				t.Errorf("error line = %d, want 1", pe.Line)
+			}
+		})
+	}
+}
+
+func TestParseErrorMessage(t *testing.T) {
+	_, err := NewReader(strings.NewReader("junk")).ReadAll()
+	if err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error should mention the line: %v", err)
+	}
+}
+
+func TestReaderEOF(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	if _, err := r.Read(); err != io.EOF {
+		t.Errorf("empty input: err = %v, want io.EOF", err)
+	}
+}
+
+func TestWriterStickyError(t *testing.T) {
+	w := NewWriter(failWriter{})
+	tr := NewTriple(IRI("s"), IRI("p"), IRI("o"))
+	// The bufio layer absorbs small writes; force the flush to fail.
+	for i := 0; i < 10000; i++ {
+		if err := w.WriteTriple(tr); err != nil {
+			break
+		}
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("expected write error to surface")
+	}
+	if err := w.WriteTriple(tr); err == nil {
+		t.Fatal("expected sticky error on subsequent writes")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestReaderLongLines(t *testing.T) {
+	// Abstracts are ~150 words; make sure a much longer literal still
+	// parses (up to the 1 MiB scanner limit).
+	long := strings.Repeat("word ", 20000)
+	input := `<http://x/a> <http://x/p> "` + long + `" .` + "\n"
+	got, err := NewReader(strings.NewReader(input)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].O.Value != long {
+		t.Fatal("long literal mangled")
+	}
+}

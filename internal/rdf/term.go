@@ -1,0 +1,261 @@
+// Package rdf implements the RDF 1.0 data model used throughout SP2Bench:
+// IRIs, blank nodes, typed literals, triples, the vocabularies of the
+// DBLP scheme (Figure 3(a) of the paper), and a streaming N-Triples codec.
+//
+// The package is deliberately free of storage or query concerns; it is the
+// substrate every other package builds on.
+package rdf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TermKind discriminates the three RDF node types plus the zero value.
+type TermKind uint8
+
+const (
+	// KindInvalid is the zero TermKind; no valid term has it.
+	KindInvalid TermKind = iota
+	// KindIRI identifies IRI reference terms.
+	KindIRI
+	// KindBlank identifies blank nodes.
+	KindBlank
+	// KindLiteral identifies (possibly typed) literal terms.
+	KindLiteral
+)
+
+// String returns the conventional name of the kind.
+func (k TermKind) String() string {
+	switch k {
+	case KindIRI:
+		return "IRI"
+	case KindBlank:
+		return "BlankNode"
+	case KindLiteral:
+		return "Literal"
+	default:
+		return "Invalid"
+	}
+}
+
+// Term is an RDF term: an IRI, a blank node, or a literal.
+//
+// A Term is a small value type and is intended to be copied freely. For
+// IRIs, Value holds the IRI string. For blank nodes, Value holds the label
+// (without the "_:" prefix). For literals, Value holds the lexical form and
+// Datatype optionally holds the datatype IRI ("" means a plain literal).
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string
+}
+
+// IRI returns an IRI term.
+func IRI(iri string) Term { return Term{Kind: KindIRI, Value: iri} }
+
+// Blank returns a blank-node term with the given label (no "_:" prefix).
+func Blank(label string) Term { return Term{Kind: KindBlank, Value: label} }
+
+// Literal returns a plain (untyped) literal term.
+func Literal(lex string) Term { return Term{Kind: KindLiteral, Value: lex} }
+
+// TypedLiteral returns a literal with an explicit datatype IRI.
+func TypedLiteral(lex, datatype string) Term {
+	return Term{Kind: KindLiteral, Value: lex, Datatype: datatype}
+}
+
+// String returns a typed string literal (xsd:string), the literal form the
+// SP2Bench data set uses for all text values.
+func String(lex string) Term { return TypedLiteral(lex, XSDString) }
+
+// Integer returns an xsd:integer literal for v.
+func Integer(v int) Term { return TypedLiteral(fmt.Sprintf("%d", v), XSDInteger) }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == KindIRI }
+
+// IsBlank reports whether the term is a blank node.
+func (t Term) IsBlank() bool { return t.Kind == KindBlank }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == KindLiteral }
+
+// IsZero reports whether the term is the zero value (no term at all).
+func (t Term) IsZero() bool { return t.Kind == KindInvalid }
+
+// Equal reports RDF term equality: same kind, same value and, for
+// literals, the same datatype.
+func (t Term) Equal(o Term) bool { return t == o }
+
+// Compare orders terms for ORDER BY and for index construction. The order
+// follows the SPARQL 1.0 ordering: blank nodes < IRIs < literals, with
+// lexicographic ordering inside each kind (numeric literals compare by
+// value when both sides are numeric).
+func (t Term) Compare(o Term) int {
+	if t.Kind != o.Kind {
+		return int(kindRank(t.Kind)) - int(kindRank(o.Kind))
+	}
+	if t.Kind == KindLiteral {
+		if tn, ok := t.Numeric(); ok {
+			if on, ok2 := o.Numeric(); ok2 {
+				switch {
+				case tn < on:
+					return -1
+				case tn > on:
+					return 1
+				}
+				// equal numeric value: fall through to lexical tiebreak
+			}
+		}
+		if c := strings.Compare(t.Value, o.Value); c != 0 {
+			return c
+		}
+		return strings.Compare(t.Datatype, o.Datatype)
+	}
+	return strings.Compare(t.Value, o.Value)
+}
+
+func kindRank(k TermKind) uint8 {
+	switch k {
+	case KindBlank:
+		return 1
+	case KindIRI:
+		return 2
+	case KindLiteral:
+		return 3
+	default:
+		return 0
+	}
+}
+
+// Numeric reports the numeric value of a literal whose datatype is one of
+// the XSD numeric types (or whose lexical form parses as a number for
+// plain literals). The second result is false when the term has no numeric
+// interpretation.
+func (t Term) Numeric() (float64, bool) {
+	if t.Kind != KindLiteral {
+		return 0, false
+	}
+	switch t.Datatype {
+	case XSDInteger, XSDDecimal, XSDDouble, XSDFloat, XSDInt, XSDLong, XSDGYear:
+		return parseFloat(t.Value)
+	case "":
+		return parseFloat(t.Value)
+	default:
+		return 0, false
+	}
+}
+
+// parseFloat is a small, allocation-free float parser for the integer and
+// simple decimal forms the benchmark produces. It intentionally does not
+// support exponents or special values; callers fall back to string
+// comparison when it fails.
+func parseFloat(s string) (float64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	neg := false
+	i := 0
+	switch s[0] {
+	case '-':
+		neg, i = true, 1
+	case '+':
+		i = 1
+	}
+	if i >= len(s) {
+		return 0, false
+	}
+	var whole float64
+	sawDigit := false
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		whole = whole*10 + float64(s[i]-'0')
+		sawDigit = true
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		frac, scale := 0.0, 1.0
+		for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+			frac = frac*10 + float64(s[i]-'0')
+			scale *= 10
+			sawDigit = true
+		}
+		whole += frac / scale
+	}
+	if !sawDigit || i != len(s) {
+		return 0, false
+	}
+	if neg {
+		whole = -whole
+	}
+	return whole, true
+}
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	var b strings.Builder
+	t.writeNT(&b)
+	return b.String()
+}
+
+func (t Term) writeNT(b *strings.Builder) {
+	switch t.Kind {
+	case KindIRI:
+		b.WriteByte('<')
+		b.WriteString(t.Value)
+		b.WriteByte('>')
+	case KindBlank:
+		b.WriteString("_:")
+		b.WriteString(t.Value)
+	case KindLiteral:
+		b.WriteByte('"')
+		escapeInto(b, t.Value)
+		b.WriteByte('"')
+		if t.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+	default:
+		b.WriteString("<invalid>")
+	}
+}
+
+func escapeInto(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// Triple is a single RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// NewTriple builds a triple from its components.
+func NewTriple(s, p, o Term) Triple { return Triple{S: s, P: p, O: o} }
+
+// String renders the triple as one N-Triples line (without the newline).
+func (t Triple) String() string {
+	var b strings.Builder
+	t.S.writeNT(&b)
+	b.WriteByte(' ')
+	t.P.writeNT(&b)
+	b.WriteByte(' ')
+	t.O.writeNT(&b)
+	b.WriteString(" .")
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package rdf
+
+// Namespace IRIs of the SP2Bench DBLP scheme (paper Section IV, Figure 3).
+// The bench and person namespaces are SP2Bench-specific; the others are the
+// standard vocabularies the scheme borrows (FOAF for persons, SWRC and DC
+// for scientific resources).
+const (
+	NSRDF     = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	NSRDFS    = "http://www.w3.org/2000/01/rdf-schema#"
+	NSXSD     = "http://www.w3.org/2001/XMLSchema#"
+	NSFOAF    = "http://xmlns.com/foaf/0.1/"
+	NSDC      = "http://purl.org/dc/elements/1.1/"
+	NSDCTerms = "http://purl.org/dc/terms/"
+	NSSWRC    = "http://swrc.ontoware.org/ontology#"
+	NSBench   = "http://localhost/vocabulary/bench/"
+	NSPerson  = "http://localhost/persons/"
+)
+
+// Core RDF/RDFS/XSD vocabulary.
+const (
+	RDFType      = NSRDF + "type"
+	RDFBag       = NSRDF + "Bag"
+	RDFSSubClass = NSRDFS + "subClassOf"
+	RDFSSeeAlso  = NSRDFS + "seeAlso"
+	XSDString    = NSXSD + "string"
+	XSDInteger   = NSXSD + "integer"
+	XSDDecimal   = NSXSD + "decimal"
+	XSDDouble    = NSXSD + "double"
+	XSDFloat     = NSXSD + "float"
+	XSDInt       = NSXSD + "int"
+	XSDLong      = NSXSD + "long"
+	XSDGYear     = NSXSD + "gYear"
+	XSDBoolean   = NSXSD + "boolean"
+)
+
+// Document-description properties (Figure 3(a): translation of DBLP
+// attributes to RDF properties).
+const (
+	SWRCAddress       = NSSWRC + "address"
+	DCCreator         = NSDC + "creator"
+	BenchBooktitle    = NSBench + "booktitle"
+	BenchCdrom        = NSBench + "cdrom"
+	SWRCChapter       = NSSWRC + "chapter"
+	DCTermsReferences = NSDCTerms + "references"
+	DCTermsPartOf     = NSDCTerms + "partOf"
+	SWRCEditor        = NSSWRC + "editor"
+	SWRCIsbn          = NSSWRC + "isbn"
+	SWRCJournal       = NSSWRC + "journal"
+	SWRCMonth         = NSSWRC + "month"
+	BenchNote         = NSBench + "note"
+	SWRCNumber        = NSSWRC + "number"
+	SWRCPages         = NSSWRC + "pages"
+	DCPublisher       = NSDC + "publisher"
+	SWRCSeries        = NSSWRC + "series"
+	DCTitle           = NSDC + "title"
+	FOAFHomepage      = NSFOAF + "homepage"
+	SWRCVolume        = NSSWRC + "volume"
+	DCTermsIssued     = NSDCTerms + "issued"
+	FOAFName          = NSFOAF + "name"
+	BenchAbstract     = NSBench + "abstract"
+)
+
+// Document classes of the bench vocabulary plus the FOAF classes the
+// instance layer uses.
+const (
+	FOAFDocument       = NSFOAF + "Document"
+	FOAFPerson         = NSFOAF + "Person"
+	BenchJournal       = NSBench + "Journal"
+	BenchArticle       = NSBench + "Article"
+	BenchProceedings   = NSBench + "Proceedings"
+	BenchInproceedings = NSBench + "Inproceedings"
+	BenchBook          = NSBench + "Book"
+	BenchIncollection  = NSBench + "Incollection"
+	BenchPhDThesis     = NSBench + "PhDThesis"
+	BenchMastersThesis = NSBench + "MastersThesis"
+	BenchWWW           = NSBench + "Www"
+)
+
+// PaulErdoes is the fixed URI of the special author (paper Section IV):
+// the one person modeled as a URI rather than a blank node, the entry point
+// for Q8, Q10 and Q12b.
+const PaulErdoes = NSPerson + "Paul_Erdoes"
+
+// JohnQPublic is the person Q12c probes for; by construction it is never
+// present in generated data.
+const JohnQPublic = NSPerson + "John_Q_Public"
+
+// DocumentClasses lists the bench document classes in DTD order. Each is
+// declared rdfs:subClassOf foaf:Document in every generated document, which
+// is what Q6, Q7 and Q9 navigate.
+var DocumentClasses = []string{
+	BenchArticle,
+	BenchInproceedings,
+	BenchProceedings,
+	BenchBook,
+	BenchIncollection,
+	BenchPhDThesis,
+	BenchMastersThesis,
+	BenchWWW,
+	BenchJournal,
+}
+
+// BagMember returns the IRI of the n-th container membership property
+// (rdf:_1, rdf:_2, ...); n is 1-based.
+func BagMember(n int) string {
+	// Avoid fmt for the generator hot path.
+	if n < 10 {
+		return NSRDF + "_" + string(rune('0'+n))
+	}
+	buf := make([]byte, 0, len(NSRDF)+8)
+	buf = append(buf, NSRDF...)
+	buf = append(buf, '_')
+	var digits [8]byte
+	i := len(digits)
+	for n > 0 {
+		i--
+		digits[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(append(buf, digits[i:]...))
+}
+
+// Prefixes maps the conventional prefix names used by the benchmark
+// queries to their namespace IRIs. The query parser consults it so the
+// query texts can be written exactly as in the paper's appendix.
+var Prefixes = map[string]string{
+	"rdf":     NSRDF,
+	"rdfs":    NSRDFS,
+	"xsd":     NSXSD,
+	"foaf":    NSFOAF,
+	"dc":      NSDC,
+	"dcterms": NSDCTerms,
+	"swrc":    NSSWRC,
+	"bench":   NSBench,
+	"person":  NSPerson,
+}

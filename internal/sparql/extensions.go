@@ -1,0 +1,282 @@
+package sparql
+
+import (
+	"strings"
+
+	"sp2bench/internal/rdf"
+)
+
+// This file holds the query-form and aggregation extensions beyond the
+// SELECT/ASK core:
+//
+//   - CONSTRUCT and DESCRIBE, which the paper (Section V) characterizes as
+//     post-processing steps over SELECT's core evaluation;
+//   - COUNT/SUM/MIN/MAX/AVG aggregates with GROUP BY, the language
+//     extension the paper's conclusion (Section VII) proposes the
+//     benchmark's distribution knowledge be used for.
+//
+// The engine evaluates all three exactly as the paper frames them: run the
+// SELECT core, then transform the result mappings.
+
+// Additional query forms.
+const (
+	// FormConstruct builds a new RDF graph from a template.
+	FormConstruct Form = iota + 2
+	// FormDescribe extracts the triples adjacent to the result terms.
+	FormDescribe
+)
+
+func formName(f Form) string {
+	switch f {
+	case FormConstruct:
+		return "CONSTRUCT"
+	case FormDescribe:
+		return "DESCRIBE"
+	default:
+		return ""
+	}
+}
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc int
+
+// The aggregate functions of the extension.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+	AggAvg
+)
+
+var aggNames = map[string]AggFunc{
+	"COUNT": AggCount, "SUM": AggSum, "MIN": AggMin, "MAX": AggMax, "AVG": AggAvg,
+}
+
+func (f AggFunc) String() string {
+	for name, fn := range aggNames {
+		if fn == f {
+			return name
+		}
+	}
+	return "?"
+}
+
+// Aggregate is one `(FUNC(?var) AS ?alias)` projection item.
+type Aggregate struct {
+	Func AggFunc
+	// Var is the aggregated variable; empty means COUNT(*).
+	Var string
+	// Distinct marks COUNT(DISTINCT ?v).
+	Distinct bool
+	// As names the output column.
+	As string
+}
+
+// String renders the aggregate in SPARQL syntax.
+func (a Aggregate) String() string {
+	arg := "*"
+	if a.Var != "" {
+		arg = "?" + a.Var
+	}
+	if a.Distinct {
+		arg = "DISTINCT " + arg
+	}
+	return "(" + a.Func.String() + "(" + arg + ") AS ?" + a.As + ")"
+}
+
+// parseConstructQuery parses `CONSTRUCT { template } WHERE { ... }` plus
+// solution modifiers. The template reuses triple-pattern syntax.
+func (p *parser) parseConstructQuery(q *Query) error {
+	q.Form = FormConstruct
+	tmpl, err := p.parseTemplate()
+	if err != nil {
+		return err
+	}
+	q.Template = tmpl
+	t, err := p.peek(true)
+	if err != nil {
+		return err
+	}
+	if isKeyword(t, "WHERE") {
+		p.buf = nil
+	}
+	q.Where, err = p.parseGroup()
+	if err != nil {
+		return err
+	}
+	return p.parseModifiers(q)
+}
+
+// parseTemplate parses the `{ pattern* }` template of a CONSTRUCT.
+func (p *parser) parseTemplate() ([]TriplePattern, error) {
+	if _, err := p.expect(tokLBrace, "{", true); err != nil {
+		return nil, err
+	}
+	bgp := &BGP{}
+	for {
+		t, err := p.peek(true)
+		if err != nil {
+			return nil, err
+		}
+		switch t.kind {
+		case tokRBrace:
+			p.buf = nil
+			if len(bgp.Patterns) == 0 {
+				return nil, p.lex.errf(t.pos, "empty CONSTRUCT template")
+			}
+			return bgp.Patterns, nil
+		case tokDot:
+			p.buf = nil
+		case tokEOF:
+			return nil, p.lex.errf(t.pos, "unterminated CONSTRUCT template")
+		default:
+			if err := p.parseTriplesSameSubject(bgp); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// parseDescribeQuery parses `DESCRIBE (?var | iri)+ [WHERE { ... }]`.
+func (p *parser) parseDescribeQuery(q *Query) error {
+	q.Form = FormDescribe
+	for {
+		t, err := p.peek(true)
+		if err != nil {
+			return err
+		}
+		switch t.kind {
+		case tokVar:
+			p.buf = nil
+			q.Vars = append(q.Vars, t.val)
+			continue
+		case tokIRI:
+			p.buf = nil
+			q.DescribeTerms = append(q.DescribeTerms, rdf.IRI(t.val))
+			continue
+		case tokPName:
+			p.buf = nil
+			iri, err := p.expandPName(t)
+			if err != nil {
+				return err
+			}
+			q.DescribeTerms = append(q.DescribeTerms, rdf.IRI(iri))
+			continue
+		}
+		break
+	}
+	if len(q.Vars) == 0 && len(q.DescribeTerms) == 0 {
+		return &SyntaxError{Msg: "DESCRIBE needs at least one variable or IRI"}
+	}
+	t, err := p.peek(true)
+	if err != nil {
+		return err
+	}
+	if isKeyword(t, "WHERE") || t.kind == tokLBrace {
+		if isKeyword(t, "WHERE") {
+			p.buf = nil
+		}
+		q.Where, err = p.parseGroup()
+		if err != nil {
+			return err
+		}
+		return p.parseModifiers(q)
+	}
+	if len(q.Vars) > 0 {
+		return &SyntaxError{Msg: "DESCRIBE with variables needs a WHERE pattern"}
+	}
+	// DESCRIBE <iri> without a pattern: the unit solution.
+	q.Where = nil
+	return nil
+}
+
+// parseAggregateItem parses `(FUNC([DISTINCT] ?v | *) AS ?alias)` after
+// the opening parenthesis has been peeked in the SELECT clause.
+func (p *parser) parseAggregateItem() (Aggregate, error) {
+	var agg Aggregate
+	if _, err := p.expect(tokLParen, "(", true); err != nil {
+		return agg, err
+	}
+	fn, err := p.take(true)
+	if err != nil {
+		return agg, err
+	}
+	f, ok := aggNames[strings.ToUpper(fn.val)]
+	if fn.kind != tokIdent || !ok {
+		return agg, p.lex.errf(fn.pos, "unknown aggregate function %q", fn.val)
+	}
+	agg.Func = f
+	if _, err := p.expect(tokLParen, "(", true); err != nil {
+		return agg, err
+	}
+	t, err := p.peek(true)
+	if err != nil {
+		return agg, err
+	}
+	if isKeyword(t, "DISTINCT") {
+		agg.Distinct = true
+		p.buf = nil
+		t, err = p.peek(true)
+		if err != nil {
+			return agg, err
+		}
+	}
+	switch t.kind {
+	case tokStar:
+		if agg.Func != AggCount {
+			return agg, p.lex.errf(t.pos, "only COUNT accepts *")
+		}
+		p.buf = nil
+	case tokVar:
+		agg.Var = t.val
+		p.buf = nil
+	default:
+		return agg, p.lex.errf(t.pos, "expected variable or * in aggregate, found %s", t)
+	}
+	if _, err := p.expect(tokRParen, ")", true); err != nil {
+		return agg, err
+	}
+	as, err := p.take(true)
+	if err != nil {
+		return agg, err
+	}
+	if !isKeyword(as, "AS") {
+		return agg, p.lex.errf(as.pos, "expected AS after aggregate, found %s", as)
+	}
+	alias, err := p.expect(tokVar, "alias variable", true)
+	if err != nil {
+		return agg, err
+	}
+	agg.As = alias.val
+	if _, err := p.expect(tokRParen, ")", true); err != nil {
+		return agg, err
+	}
+	return agg, nil
+}
+
+// parseGroupBy parses `GROUP BY ?v1 ?v2 ...` (the GROUP keyword has been
+// consumed).
+func (p *parser) parseGroupBy(q *Query) error {
+	by, err := p.take(true)
+	if err != nil {
+		return err
+	}
+	if !isKeyword(by, "BY") {
+		return p.lex.errf(by.pos, "expected BY after GROUP, found %s", by)
+	}
+	for {
+		t, err := p.peek(true)
+		if err != nil {
+			return err
+		}
+		if t.kind != tokVar {
+			if len(q.GroupBy) == 0 {
+				return p.lex.errf(t.pos, "GROUP BY needs at least one variable")
+			}
+			return nil
+		}
+		p.buf = nil
+		q.GroupBy = append(q.GroupBy, t.val)
+	}
+}

@@ -1,0 +1,153 @@
+package sparql
+
+import (
+	"testing"
+
+	"sp2bench/internal/rdf"
+)
+
+func TestParseConstruct(t *testing.T) {
+	q := parse(t, `CONSTRUCT { ?p rdf:type foaf:Person . ?p foaf:name ?n }
+		WHERE { ?doc dc:creator ?p . ?p foaf:name ?n }`)
+	if q.Form != FormConstruct {
+		t.Fatalf("form = %v, want CONSTRUCT", q.Form)
+	}
+	if len(q.Template) != 2 {
+		t.Fatalf("template has %d patterns, want 2", len(q.Template))
+	}
+	if q.Template[0].P.Term != rdf.IRI(rdf.RDFType) {
+		t.Error("template pattern must expand prefixes")
+	}
+	if q.Form.String() != "CONSTRUCT" {
+		t.Errorf("Form.String() = %s", q.Form.String())
+	}
+}
+
+func TestParseConstructWithModifiers(t *testing.T) {
+	q := parse(t, `CONSTRUCT { ?s dc:title ?t } WHERE { ?s dc:title ?t } ORDER BY ?t LIMIT 5`)
+	if q.Limit != 5 || len(q.OrderBy) != 1 {
+		t.Fatal("CONSTRUCT must accept solution modifiers")
+	}
+}
+
+func TestParseConstructErrors(t *testing.T) {
+	for _, src := range []string{
+		`CONSTRUCT { } WHERE { ?s ?p ?o }`,
+		`CONSTRUCT { ?s ?p ?o WHERE { ?s ?p ?o }`,
+		`CONSTRUCT WHERE { ?s ?p ?o }`,
+	} {
+		if _, err := Parse(src, rdf.Prefixes); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseDescribeVariants(t *testing.T) {
+	q := parse(t, `DESCRIBE ?j WHERE { ?j rdf:type bench:Journal }`)
+	if q.Form != FormDescribe || len(q.Vars) != 1 {
+		t.Fatalf("describe with var: %+v", q)
+	}
+	q = parse(t, `DESCRIBE person:Paul_Erdoes`)
+	if q.Form != FormDescribe || len(q.DescribeTerms) != 1 || q.Where != nil {
+		t.Fatalf("describe with fixed IRI: %+v", q)
+	}
+	if q.DescribeTerms[0] != rdf.IRI(rdf.PaulErdoes) {
+		t.Error("prefixed name must expand")
+	}
+	q = parse(t, `DESCRIBE <http://x/a> ?v { ?v rdf:type foaf:Person }`)
+	if len(q.DescribeTerms) != 1 || len(q.Vars) != 1 {
+		t.Fatalf("mixed describe: %+v", q)
+	}
+	if q.Form.String() != "DESCRIBE" {
+		t.Errorf("Form.String() = %s", q.Form.String())
+	}
+}
+
+func TestParseDescribeErrors(t *testing.T) {
+	for _, src := range []string{
+		`DESCRIBE`,
+		`DESCRIBE ?x`, // variable without pattern
+		`DESCRIBE WHERE { ?x ?p ?o }`,
+	} {
+		if _, err := Parse(src, rdf.Prefixes); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	q := parse(t, `SELECT ?class (COUNT(?doc) AS ?n) (MIN(?yr) AS ?first)
+		WHERE { ?doc rdf:type ?class . ?doc dcterms:issued ?yr }
+		GROUP BY ?class ORDER BY DESC(?n)`)
+	if !q.IsAggregate() {
+		t.Fatal("query must be aggregate")
+	}
+	if len(q.Aggregates) != 2 || len(q.GroupBy) != 1 || q.GroupBy[0] != "class" {
+		t.Fatalf("aggregates=%v groupby=%v", q.Aggregates, q.GroupBy)
+	}
+	a := q.Aggregates[0]
+	if a.Func != AggCount || a.Var != "doc" || a.As != "n" || a.Distinct {
+		t.Fatalf("first aggregate = %+v", a)
+	}
+	if q.Aggregates[1].Func != AggMin {
+		t.Fatalf("second aggregate = %+v", q.Aggregates[1])
+	}
+}
+
+func TestParseCountStarAndDistinct(t *testing.T) {
+	q := parse(t, `SELECT (COUNT(*) AS ?n) WHERE { ?s ?p ?o }`)
+	if q.Aggregates[0].Var != "" {
+		t.Fatal("COUNT(*) must leave Var empty")
+	}
+	q = parse(t, `SELECT (COUNT(DISTINCT ?a) AS ?n) WHERE { ?d dc:creator ?a }`)
+	if !q.Aggregates[0].Distinct {
+		t.Fatal("DISTINCT flag lost")
+	}
+	if s := q.Aggregates[0].String(); s != "(COUNT(DISTINCT ?a) AS ?n)" {
+		t.Errorf("Aggregate.String() = %s", s)
+	}
+}
+
+func TestParseAllAggregateFunctions(t *testing.T) {
+	for _, fn := range []string{"COUNT", "SUM", "MIN", "MAX", "AVG"} {
+		src := `SELECT (` + fn + `(?x) AS ?r) WHERE { ?s ?p ?x }`
+		q, err := Parse(src, rdf.Prefixes)
+		if err != nil {
+			t.Errorf("%s: %v", fn, err)
+			continue
+		}
+		if q.Aggregates[0].Func.String() != fn {
+			t.Errorf("round-trip of %s failed", fn)
+		}
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	cases := []string{
+		// plain var not in GROUP BY
+		`SELECT ?a (COUNT(?b) AS ?n) WHERE { ?a ?p ?b }`,
+		// GROUP BY without aggregate
+		`SELECT ?a WHERE { ?a ?p ?b } GROUP BY ?a`,
+		// alias collides with group key
+		`SELECT ?a (COUNT(?b) AS ?a) WHERE { ?a ?p ?b } GROUP BY ?a`,
+		// duplicate aliases
+		`SELECT (COUNT(?b) AS ?n) (SUM(?b) AS ?n) WHERE { ?a ?p ?b }`,
+		// aggregates in ASK
+		`ASK { ?a ?p ?b } GROUP BY ?a`,
+		// SUM(*) is not a thing
+		`SELECT (SUM(*) AS ?n) WHERE { ?a ?p ?b }`,
+		// unknown function
+		`SELECT (MEDIAN(?b) AS ?n) WHERE { ?a ?p ?b }`,
+		// missing AS
+		`SELECT (COUNT(?b) ?n) WHERE { ?a ?p ?b }`,
+		// GROUP without BY
+		`SELECT (COUNT(?b) AS ?n) WHERE { ?a ?p ?b } GROUP ?a`,
+		// GROUP BY without variables
+		`SELECT (COUNT(?b) AS ?n) WHERE { ?a ?p ?b } GROUP BY LIMIT 3`,
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, rdf.Prefixes); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}

@@ -1,0 +1,304 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF    tokenKind = iota
+	tokIdent            // bare identifiers and keywords (SELECT, WHERE, a, ...)
+	tokVar              // ?name or $name (name without sigil)
+	tokIRI              // <...> (value without angle brackets)
+	tokPName            // prefixed name prefix:local (value as written)
+	tokString           // "..." (unescaped value)
+	tokNumber           // integer or decimal literal
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokDot
+	tokSemicolon
+	tokComma
+	tokStar
+	tokEq    // =
+	tokNeq   // !=
+	tokLt    // <
+	tokGt    // >
+	tokLeq   // <=
+	tokGeq   // >=
+	tokAnd   // &&
+	tokOr    // ||
+	tokBang  // !
+	tokDTSep // ^^
+)
+
+type token struct {
+	kind tokenKind
+	val  string
+	pos  int // byte offset, for error messages
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokVar:
+		return "?" + t.val
+	case tokIRI:
+		return "<" + t.val + ">"
+	case tokString:
+		return fmt.Sprintf("%q", t.val)
+	default:
+		return t.val
+	}
+}
+
+// SyntaxError reports a lexical or grammatical error with its position.
+type SyntaxError struct {
+	Pos  int
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sparql: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src string
+	i   int
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	line, col := 1, 1
+	for i := 0; i < pos && i < len(l.src); i++ {
+		if l.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return &SyntaxError{Pos: pos, Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.i++
+			continue
+		}
+		if c == '#' {
+			for l.i < len(l.src) && l.src[l.i] != '\n' {
+				l.i++
+			}
+			continue
+		}
+		return
+	}
+}
+
+// next produces the next token. The `angleIsIRI` flag controls whether '<'
+// starts an IRI (true in pattern position) or is the less-than operator
+// (false inside expressions); the parser flips it by context.
+func (l *lexer) next(angleIsIRI bool) (token, error) {
+	l.skipSpaceAndComments()
+	start := l.i
+	if l.i >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.i]
+	switch {
+	case c == '{':
+		l.i++
+		return token{tokLBrace, "{", start}, nil
+	case c == '}':
+		l.i++
+		return token{tokRBrace, "}", start}, nil
+	case c == '(':
+		l.i++
+		return token{tokLParen, "(", start}, nil
+	case c == ')':
+		l.i++
+		return token{tokRParen, ")", start}, nil
+	case c == '.':
+		// a dot followed by a digit is a decimal literal, not a terminator
+		if l.i+1 < len(l.src) && isDigit(l.src[l.i+1]) {
+			return l.number()
+		}
+		l.i++
+		return token{tokDot, ".", start}, nil
+	case c == ';':
+		l.i++
+		return token{tokSemicolon, ";", start}, nil
+	case c == ',':
+		l.i++
+		return token{tokComma, ",", start}, nil
+	case c == '*':
+		l.i++
+		return token{tokStar, "*", start}, nil
+	case c == '?' || c == '$':
+		l.i++
+		v := l.ident()
+		if v == "" {
+			return token{}, l.errf(start, "empty variable name")
+		}
+		return token{tokVar, v, start}, nil
+	case c == '<':
+		if angleIsIRI {
+			return l.iri()
+		}
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '=' {
+			l.i += 2
+			return token{tokLeq, "<=", start}, nil
+		}
+		l.i++
+		return token{tokLt, "<", start}, nil
+	case c == '>':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '=' {
+			l.i += 2
+			return token{tokGeq, ">=", start}, nil
+		}
+		l.i++
+		return token{tokGt, ">", start}, nil
+	case c == '=':
+		l.i++
+		return token{tokEq, "=", start}, nil
+	case c == '!':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '=' {
+			l.i += 2
+			return token{tokNeq, "!=", start}, nil
+		}
+		l.i++
+		return token{tokBang, "!", start}, nil
+	case c == '&':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '&' {
+			l.i += 2
+			return token{tokAnd, "&&", start}, nil
+		}
+		return token{}, l.errf(start, "expected && but found single &")
+	case c == '|':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '|' {
+			l.i += 2
+			return token{tokOr, "||", start}, nil
+		}
+		return token{}, l.errf(start, "expected || but found single |")
+	case c == '^':
+		if l.i+1 < len(l.src) && l.src[l.i+1] == '^' {
+			l.i += 2
+			return token{tokDTSep, "^^", start}, nil
+		}
+		return token{}, l.errf(start, "expected ^^ but found single ^")
+	case c == '"':
+		return l.stringLit()
+	case isDigit(c) || (c == '-' && l.i+1 < len(l.src) && isDigit(l.src[l.i+1])):
+		return l.number()
+	case isIdentStart(c) || c == '_':
+		word := l.ident()
+		// prefixed name?
+		if l.i < len(l.src) && l.src[l.i] == ':' {
+			l.i++
+			local := l.ident()
+			return token{tokPName, word + ":" + local, start}, nil
+		}
+		return token{tokIdent, word, start}, nil
+	case c == ':':
+		// default-prefix name ":local"
+		l.i++
+		local := l.ident()
+		return token{tokPName, ":" + local, start}, nil
+	default:
+		return token{}, l.errf(start, "unexpected character %q", c)
+	}
+}
+
+func (l *lexer) ident() string {
+	start := l.i
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		if isIdentStart(c) || isDigit(c) || c == '_' || c == '-' {
+			l.i++
+			continue
+		}
+		break
+	}
+	return l.src[start:l.i]
+}
+
+func (l *lexer) iri() (token, error) {
+	start := l.i
+	l.i++ // '<'
+	b := strings.IndexByte(l.src[l.i:], '>')
+	if b < 0 {
+		return token{}, l.errf(start, "unterminated IRI")
+	}
+	val := l.src[l.i : l.i+b]
+	l.i += b + 1
+	return token{tokIRI, val, start}, nil
+}
+
+func (l *lexer) stringLit() (token, error) {
+	start := l.i
+	l.i++ // opening quote
+	var sb strings.Builder
+	for l.i < len(l.src) {
+		c := l.src[l.i]
+		if c == '"' {
+			l.i++
+			return token{tokString, sb.String(), start}, nil
+		}
+		if c == '\\' {
+			l.i++
+			if l.i >= len(l.src) {
+				break
+			}
+			switch l.src[l.i] {
+			case 'n':
+				sb.WriteByte('\n')
+			case 't':
+				sb.WriteByte('\t')
+			case 'r':
+				sb.WriteByte('\r')
+			case '"':
+				sb.WriteByte('"')
+			case '\\':
+				sb.WriteByte('\\')
+			default:
+				return token{}, l.errf(l.i, "unknown string escape \\%c", l.src[l.i])
+			}
+			l.i++
+			continue
+		}
+		sb.WriteByte(c)
+		l.i++
+	}
+	return token{}, l.errf(start, "unterminated string literal")
+}
+
+func (l *lexer) number() (token, error) {
+	start := l.i
+	if l.src[l.i] == '-' {
+		l.i++
+	}
+	for l.i < len(l.src) && isDigit(l.src[l.i]) {
+		l.i++
+	}
+	if l.i < len(l.src) && l.src[l.i] == '.' {
+		l.i++
+		for l.i < len(l.src) && isDigit(l.src[l.i]) {
+			l.i++
+		}
+	}
+	return token{tokNumber, l.src[start:l.i], start}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

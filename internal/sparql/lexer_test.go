@@ -1,0 +1,175 @@
+package sparql
+
+import "testing"
+
+// lexAll tokenizes the whole input under a fixed angle-bracket mode.
+func lexAll(t *testing.T, src string, angleIRI bool) []token {
+	t.Helper()
+	l := &lexer{src: src}
+	var out []token
+	for {
+		tok, err := l.next(angleIRI)
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return out
+		}
+		out = append(out, tok)
+	}
+}
+
+func TestLexPunctuation(t *testing.T) {
+	toks := lexAll(t, "{ } ( ) . ; , *", true)
+	want := []tokenKind{tokLBrace, tokRBrace, tokLParen, tokRParen, tokDot, tokSemicolon, tokComma, tokStar}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].kind != k {
+			t.Errorf("token %d kind = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexVariables(t *testing.T) {
+	toks := lexAll(t, "?abc $x ?journal_1 ?a-b", true)
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	for i, want := range []string{"abc", "x", "journal_1", "a-b"} {
+		if toks[i].kind != tokVar || toks[i].val != want {
+			t.Errorf("token %d = %v %q, want var %q", i, toks[i].kind, toks[i].val, want)
+		}
+	}
+}
+
+func TestLexAngleModes(t *testing.T) {
+	// In pattern mode '<' opens an IRI; in expression mode it is a
+	// comparison operator.
+	toks := lexAll(t, "<http://x/a>", true)
+	if len(toks) != 1 || toks[0].kind != tokIRI || toks[0].val != "http://x/a" {
+		t.Fatalf("pattern mode: %+v", toks)
+	}
+	toks = lexAll(t, "?a < ?b <= ?c", false)
+	kinds := []tokenKind{tokVar, tokLt, tokVar, tokLeq, tokVar}
+	for i, k := range kinds {
+		if toks[i].kind != k {
+			t.Errorf("expression mode token %d = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexAll(t, "= != < > <= >= && || ! ^^", false)
+	want := []tokenKind{tokEq, tokNeq, tokLt, tokGt, tokLeq, tokGeq, tokAnd, tokOr, tokBang, tokDTSep}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(want))
+	}
+	for i, k := range want {
+		if toks[i].kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].kind, k)
+		}
+	}
+}
+
+func TestLexStringsAndEscapes(t *testing.T) {
+	toks := lexAll(t, `"plain" "with \"quotes\"" "tab\there"`, true)
+	want := []string{"plain", `with "quotes"`, "tab\there"}
+	for i, w := range want {
+		if toks[i].kind != tokString || toks[i].val != w {
+			t.Errorf("string %d = %q, want %q", i, toks[i].val, w)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks := lexAll(t, "42 -7 3.14 .5", true)
+	want := []string{"42", "-7", "3.14", ".5"}
+	for i, w := range want {
+		if toks[i].kind != tokNumber || toks[i].val != w {
+			t.Errorf("number %d = %v %q, want %q", i, toks[i].kind, toks[i].val, w)
+		}
+	}
+}
+
+func TestLexPrefixedNames(t *testing.T) {
+	toks := lexAll(t, "dc:title bench: :local _:blank", true)
+	want := []string{"dc:title", "bench:", ":local", "_:blank"}
+	for i, w := range want {
+		if toks[i].kind != tokPName || toks[i].val != w {
+			t.Errorf("pname %d = %v %q, want %q", i, toks[i].kind, toks[i].val, w)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "?a # comment to end of line\n?b", true)
+	if len(toks) != 2 || toks[0].val != "a" || toks[1].val != "b" {
+		t.Fatalf("comments not skipped: %+v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []struct {
+		src      string
+		angleIRI bool
+	}{
+		{"&", false},
+		{"|", false},
+		{"^", false},
+		{"<http://unterminated", true},
+		{`"unterminated`, true},
+		{`"bad \q escape"`, true},
+		{"?", true},
+		{"@", true},
+	}
+	for _, tc := range cases {
+		l := &lexer{src: tc.src}
+		var err error
+		for {
+			var tok token
+			tok, err = l.next(tc.angleIRI)
+			if err != nil || tok.kind == tokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("lexing %q should fail", tc.src)
+		}
+	}
+}
+
+func TestLexErrorPositions(t *testing.T) {
+	l := &lexer{src: "?a\n?b &"}
+	var err error
+	for {
+		var tok token
+		tok, err = l.next(false)
+		if err != nil || tok.kind == tokEOF {
+			break
+		}
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error is %T", err)
+	}
+	if se.Line != 2 || se.Col != 4 {
+		t.Errorf("error at line %d col %d, want 2:4", se.Line, se.Col)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	cases := map[token]string{
+		{kind: tokEOF}:                  "end of input",
+		{kind: tokVar, val: "x"}:        "?x",
+		{kind: tokIRI, val: "http://x"}: "<http://x>",
+		{kind: tokString, val: "s"}:     `"s"`,
+		{kind: tokIdent, val: "SELECT"}: "SELECT",
+	}
+	for tok, want := range cases {
+		if got := tok.String(); got != want {
+			t.Errorf("token string = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,793 @@
+package sparql
+
+import (
+	"strings"
+
+	"sp2bench/internal/rdf"
+)
+
+// Parse parses a SPARQL query. The defaultPrefixes (may be nil) seed the
+// prefix table so the benchmark queries can be written exactly as in the
+// paper's appendix, which assumes the standard SP2Bench prologue; PREFIX
+// declarations in the query override them.
+func Parse(src string, defaultPrefixes map[string]string) (*Query, error) {
+	p := &parser{lex: &lexer{src: src}, prefixes: map[string]string{}}
+	for k, v := range defaultPrefixes {
+		p.prefixes[k] = v
+	}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error; for the built-in query catalog
+// and tests.
+func MustParse(src string, defaultPrefixes map[string]string) *Query {
+	q, err := Parse(src, defaultPrefixes)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	lex      *lexer
+	buf      *token
+	bufStart int
+	bufMode  bool
+	prefixes map[string]string
+}
+
+// modeSensitive reports whether re-lexing under a different angle-bracket
+// mode could change the token (anything starting with '<').
+func modeSensitive(t token) bool {
+	return t.kind == tokIRI || t.kind == tokLt || t.kind == tokLeq
+}
+
+func (p *parser) peek(angleIRI bool) (token, error) {
+	if p.buf != nil {
+		if p.bufMode == angleIRI || !modeSensitive(*p.buf) {
+			return *p.buf, nil
+		}
+		p.lex.i = p.bufStart
+		p.buf = nil
+	}
+	start := p.lex.i
+	t, err := p.lex.next(angleIRI)
+	if err != nil {
+		return token{}, err
+	}
+	p.buf = &t
+	p.bufStart = start
+	p.bufMode = angleIRI
+	return t, nil
+}
+
+func (p *parser) take(angleIRI bool) (token, error) {
+	t, err := p.peek(angleIRI)
+	p.buf = nil
+	return t, err
+}
+
+func (p *parser) expect(kind tokenKind, what string, angleIRI bool) (token, error) {
+	t, err := p.take(angleIRI)
+	if err != nil {
+		return token{}, err
+	}
+	if t.kind != kind {
+		return token{}, p.lex.errf(t.pos, "expected %s, found %s", what, t)
+	}
+	return t, nil
+}
+
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.val, kw)
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Limit: -1, Offset: -1}
+
+	// Prologue: PREFIX declarations.
+	for {
+		t, err := p.peek(true)
+		if err != nil {
+			return nil, err
+		}
+		if !isKeyword(t, "PREFIX") {
+			break
+		}
+		p.buf = nil
+		name, err := p.take(true)
+		if err != nil {
+			return nil, err
+		}
+		if name.kind != tokPName || !strings.HasSuffix(name.val, ":") {
+			// A pname token like "foo:" has an empty local part.
+			if name.kind != tokPName {
+				return nil, p.lex.errf(name.pos, "expected prefix name, found %s", name)
+			}
+		}
+		pfx := strings.TrimSuffix(name.val, ":")
+		if i := strings.IndexByte(name.val, ':'); i >= 0 && i != len(name.val)-1 {
+			return nil, p.lex.errf(name.pos, "malformed prefix declaration %q", name.val)
+		}
+		iri, err := p.expect(tokIRI, "IRI", true)
+		if err != nil {
+			return nil, err
+		}
+		p.prefixes[pfx] = iri.val
+	}
+	q.Prefixes = p.prefixes
+
+	t, err := p.take(true)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case isKeyword(t, "SELECT"):
+		q.Form = FormSelect
+		if err := p.parseSelectClause(q); err != nil {
+			return nil, err
+		}
+		// optional WHERE keyword
+		t2, err := p.peek(true)
+		if err != nil {
+			return nil, err
+		}
+		if isKeyword(t2, "WHERE") {
+			p.buf = nil
+		}
+		q.Where, err = p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.parseModifiers(q); err != nil {
+			return nil, err
+		}
+	case isKeyword(t, "ASK"):
+		q.Form = FormAsk
+		t2, err := p.peek(true)
+		if err != nil {
+			return nil, err
+		}
+		if isKeyword(t2, "WHERE") {
+			p.buf = nil
+		}
+		q.Where, err = p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+	case isKeyword(t, "CONSTRUCT"):
+		if err := p.parseConstructQuery(q); err != nil {
+			return nil, err
+		}
+	case isKeyword(t, "DESCRIBE"):
+		if err := p.parseDescribeQuery(q); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.lex.errf(t.pos, "expected SELECT, ASK, CONSTRUCT or DESCRIBE, found %s", t)
+	}
+
+	end, err := p.take(true)
+	if err != nil {
+		return nil, err
+	}
+	if end.kind != tokEOF {
+		return nil, p.lex.errf(end.pos, "unexpected trailing content %s", end)
+	}
+	if err := validate(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectClause(q *Query) error {
+	t, err := p.peek(true)
+	if err != nil {
+		return err
+	}
+	if isKeyword(t, "DISTINCT") {
+		q.Distinct = true
+		p.buf = nil
+		t, err = p.peek(true)
+		if err != nil {
+			return err
+		}
+	}
+	if t.kind == tokStar {
+		p.buf = nil
+		return nil // empty Vars means *
+	}
+	for {
+		t, err := p.peek(true)
+		if err != nil {
+			return err
+		}
+		switch t.kind {
+		case tokVar:
+			p.buf = nil
+			q.Vars = append(q.Vars, t.val)
+			continue
+		case tokLParen:
+			agg, err := p.parseAggregateItem()
+			if err != nil {
+				return err
+			}
+			q.Aggregates = append(q.Aggregates, agg)
+			continue
+		}
+		break
+	}
+	if len(q.Vars) == 0 && len(q.Aggregates) == 0 {
+		return p.lex.errf(t.pos, "SELECT needs at least one variable, aggregate, or *")
+	}
+	return nil
+}
+
+func (p *parser) parseModifiers(q *Query) error {
+	for {
+		t, err := p.peek(true)
+		if err != nil {
+			return err
+		}
+		switch {
+		case isKeyword(t, "GROUP"):
+			p.buf = nil
+			if err := p.parseGroupBy(q); err != nil {
+				return err
+			}
+		case isKeyword(t, "ORDER"):
+			p.buf = nil
+			by, err := p.take(true)
+			if err != nil {
+				return err
+			}
+			if !isKeyword(by, "BY") {
+				return p.lex.errf(by.pos, "expected BY after ORDER, found %s", by)
+			}
+			if err := p.parseOrderConditions(q); err != nil {
+				return err
+			}
+		case isKeyword(t, "LIMIT"):
+			p.buf = nil
+			n, err := p.expect(tokNumber, "integer", true)
+			if err != nil {
+				return err
+			}
+			q.Limit, err = atoiStrict(n.val)
+			if err != nil {
+				return p.lex.errf(n.pos, "bad LIMIT value %q", n.val)
+			}
+		case isKeyword(t, "OFFSET"):
+			p.buf = nil
+			n, err := p.expect(tokNumber, "integer", true)
+			if err != nil {
+				return err
+			}
+			q.Offset, err = atoiStrict(n.val)
+			if err != nil {
+				return p.lex.errf(n.pos, "bad OFFSET value %q", n.val)
+			}
+		default:
+			return nil
+		}
+	}
+}
+
+func (p *parser) parseOrderConditions(q *Query) error {
+	for {
+		t, err := p.peek(true)
+		if err != nil {
+			return err
+		}
+		switch {
+		case t.kind == tokVar:
+			p.buf = nil
+			q.OrderBy = append(q.OrderBy, OrderCondition{Var: t.val})
+		case isKeyword(t, "ASC"), isKeyword(t, "DESC"):
+			desc := strings.EqualFold(t.val, "DESC")
+			p.buf = nil
+			if _, err := p.expect(tokLParen, "(", true); err != nil {
+				return err
+			}
+			v, err := p.expect(tokVar, "variable", true)
+			if err != nil {
+				return err
+			}
+			if _, err := p.expect(tokRParen, ")", true); err != nil {
+				return err
+			}
+			q.OrderBy = append(q.OrderBy, OrderCondition{Var: v.val, Desc: desc})
+		default:
+			if len(q.OrderBy) == 0 {
+				return p.lex.errf(t.pos, "ORDER BY needs at least one condition")
+			}
+			return nil
+		}
+	}
+}
+
+func atoiStrict(s string) (int, error) {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return 0, &SyntaxError{Msg: "not a non-negative integer: " + s}
+		}
+		n = n*10 + int(s[i]-'0')
+	}
+	return n, nil
+}
+
+// parseGroup parses a `{ ... }` group graph pattern.
+func (p *parser) parseGroup() (*GroupGraphPattern, error) {
+	if _, err := p.expect(tokLBrace, "{", true); err != nil {
+		return nil, err
+	}
+	g := &GroupGraphPattern{}
+	var curBGP *BGP
+	flushBGP := func() {
+		if curBGP != nil && len(curBGP.Patterns) > 0 {
+			g.Elements = append(g.Elements, curBGP)
+		}
+		curBGP = nil
+	}
+	for {
+		t, err := p.peek(true)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case t.kind == tokRBrace:
+			p.buf = nil
+			flushBGP()
+			return g, nil
+		case t.kind == tokEOF:
+			return nil, p.lex.errf(t.pos, "unterminated group: expected }")
+		case t.kind == tokDot:
+			p.buf = nil // stray separators are legal
+		case isKeyword(t, "FILTER"):
+			p.buf = nil
+			e, err := p.parseConstraint()
+			if err != nil {
+				return nil, err
+			}
+			g.Filters = append(g.Filters, e)
+		case isKeyword(t, "OPTIONAL"):
+			p.buf = nil
+			flushBGP()
+			inner, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, &Optional{Pattern: inner})
+		case t.kind == tokLBrace:
+			flushBGP()
+			left, err := p.parseGroup()
+			if err != nil {
+				return nil, err
+			}
+			elem, err := p.parseUnionChain(left)
+			if err != nil {
+				return nil, err
+			}
+			g.Elements = append(g.Elements, elem)
+		default:
+			// a triple pattern block
+			if curBGP == nil {
+				curBGP = &BGP{}
+			}
+			if err := p.parseTriplesSameSubject(curBGP); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// parseUnionChain handles `{A} UNION {B} UNION {C}` (left-associative).
+func (p *parser) parseUnionChain(left *GroupGraphPattern) (Element, error) {
+	t, err := p.peek(true)
+	if err != nil {
+		return nil, err
+	}
+	if !isKeyword(t, "UNION") {
+		return &Group{Pattern: left}, nil
+	}
+	var elem Element = &Group{Pattern: left}
+	for {
+		t, err := p.peek(true)
+		if err != nil {
+			return nil, err
+		}
+		if !isKeyword(t, "UNION") {
+			return elem, nil
+		}
+		p.buf = nil
+		right, err := p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		switch prev := elem.(type) {
+		case *Group:
+			elem = &Union{Left: prev.Pattern, Right: right}
+		case *Union:
+			elem = &Union{Left: &GroupGraphPattern{Elements: []Element{prev}}, Right: right}
+		}
+	}
+}
+
+// parseTriplesSameSubject parses `subject predObjList` with ';' and ','
+// abbreviations, appending the expanded patterns to bgp.
+func (p *parser) parseTriplesSameSubject(bgp *BGP) error {
+	subj, err := p.parsePatternTerm(false)
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.parseVerb()
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.parsePatternTerm(true)
+			if err != nil {
+				return err
+			}
+			bgp.Patterns = append(bgp.Patterns, TriplePattern{S: subj, P: pred, O: obj})
+			t, err := p.peek(true)
+			if err != nil {
+				return err
+			}
+			if t.kind != tokComma {
+				break
+			}
+			p.buf = nil
+		}
+		t, err := p.peek(true)
+		if err != nil {
+			return err
+		}
+		if t.kind != tokSemicolon {
+			if t.kind == tokDot {
+				p.buf = nil
+			}
+			return nil
+		}
+		p.buf = nil
+		// allow trailing ';' before '.' or '}'
+		t, err = p.peek(true)
+		if err != nil {
+			return err
+		}
+		if t.kind == tokDot || t.kind == tokRBrace {
+			if t.kind == tokDot {
+				p.buf = nil
+			}
+			return nil
+		}
+	}
+}
+
+// parseVerb parses a predicate: a variable, IRI, prefixed name, or the
+// keyword 'a' (rdf:type).
+func (p *parser) parseVerb() (PatternTerm, error) {
+	t, err := p.peek(true)
+	if err != nil {
+		return PatternTerm{}, err
+	}
+	if t.kind == tokIdent && t.val == "a" {
+		p.buf = nil
+		return Constant(rdf.IRI(rdf.RDFType)), nil
+	}
+	return p.parsePatternTerm(false)
+}
+
+// parsePatternTerm parses one term of a triple pattern. Literals are only
+// legal in object position.
+func (p *parser) parsePatternTerm(allowLiteral bool) (PatternTerm, error) {
+	t, err := p.take(true)
+	if err != nil {
+		return PatternTerm{}, err
+	}
+	switch t.kind {
+	case tokVar:
+		return Variable(t.val), nil
+	case tokIRI:
+		return Constant(rdf.IRI(t.val)), nil
+	case tokPName:
+		// "_:label" is blank-node syntax, not a prefixed name.
+		if strings.HasPrefix(t.val, "_:") {
+			label := t.val[2:]
+			if label == "" {
+				return PatternTerm{}, p.lex.errf(t.pos, "empty blank node label")
+			}
+			return Constant(rdf.Blank(label)), nil
+		}
+		iri, err := p.expandPName(t)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return Constant(rdf.IRI(iri)), nil
+	case tokString:
+		if !allowLiteral {
+			return PatternTerm{}, p.lex.errf(t.pos, "literal not allowed here")
+		}
+		lit, err := p.finishLiteral(t)
+		if err != nil {
+			return PatternTerm{}, err
+		}
+		return Constant(lit), nil
+	case tokNumber:
+		if !allowLiteral {
+			return PatternTerm{}, p.lex.errf(t.pos, "literal not allowed here")
+		}
+		return Constant(numberTerm(t.val)), nil
+	default:
+		return PatternTerm{}, p.lex.errf(t.pos, "expected term, found %s", t)
+	}
+}
+
+// finishLiteral handles the optional ^^datatype suffix after a string.
+func (p *parser) finishLiteral(str token) (rdf.Term, error) {
+	t, err := p.peek(true)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	if t.kind != tokDTSep {
+		return rdf.Literal(str.val), nil
+	}
+	p.buf = nil
+	dt, err := p.take(true)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	switch dt.kind {
+	case tokIRI:
+		return rdf.TypedLiteral(str.val, dt.val), nil
+	case tokPName:
+		iri, err := p.expandPName(dt)
+		if err != nil {
+			return rdf.Term{}, err
+		}
+		return rdf.TypedLiteral(str.val, iri), nil
+	default:
+		return rdf.Term{}, p.lex.errf(dt.pos, "expected datatype IRI, found %s", dt)
+	}
+}
+
+func numberTerm(lex string) rdf.Term {
+	if strings.ContainsRune(lex, '.') {
+		return rdf.TypedLiteral(lex, rdf.XSDDecimal)
+	}
+	return rdf.TypedLiteral(lex, rdf.XSDInteger)
+}
+
+func (p *parser) expandPName(t token) (string, error) {
+	i := strings.IndexByte(t.val, ':')
+	pfx, local := t.val[:i], t.val[i+1:]
+	ns, ok := p.prefixes[pfx]
+	if !ok {
+		return "", p.lex.errf(t.pos, "undeclared prefix %q", pfx)
+	}
+	return ns + local, nil
+}
+
+// parseConstraint parses the expression after FILTER: either a
+// parenthesized expression or a bare builtin call.
+func (p *parser) parseConstraint() (Expr, error) {
+	t, err := p.peek(false)
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == tokLParen {
+		p.buf = nil
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")", false); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	// bare builtin: bound(?x) or !bound(?x)
+	return p.parseUnary()
+}
+
+// Expression grammar: or > and > relational > unary > primary.
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek(false)
+		if err != nil {
+			return nil, err
+		}
+		if t.kind != tokOr {
+			return left, nil
+		}
+		p.buf = nil
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpOr, Left: left, Right: right}
+	}
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseRelational()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek(false)
+		if err != nil {
+			return nil, err
+		}
+		if t.kind != tokAnd {
+			return left, nil
+		}
+		p.buf = nil
+		right, err := p.parseRelational()
+		if err != nil {
+			return nil, err
+		}
+		left = &Binary{Op: OpAnd, Left: left, Right: right}
+	}
+}
+
+var relOps = map[tokenKind]BinaryOp{
+	tokEq: OpEq, tokNeq: OpNeq, tokLt: OpLt, tokGt: OpGt, tokLeq: OpLeq, tokGeq: OpGeq,
+}
+
+func (p *parser) parseRelational() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.peek(false)
+	if err != nil {
+		return nil, err
+	}
+	op, ok := relOps[t.kind]
+	if !ok {
+		return left, nil
+	}
+	p.buf = nil
+	right, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Op: op, Left: left, Right: right}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t, err := p.peek(false)
+	if err != nil {
+		return nil, err
+	}
+	if t.kind == tokBang {
+		p.buf = nil
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Inner: inner}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t, err := p.take(false)
+	if err != nil {
+		return nil, err
+	}
+	switch t.kind {
+	case tokLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen, ")", false); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case tokVar:
+		return &VarExpr{Name: t.val}, nil
+	case tokString:
+		lit, err := p.finishLiteral(t)
+		if err != nil {
+			return nil, err
+		}
+		return &TermExpr{Term: lit}, nil
+	case tokNumber:
+		return &TermExpr{Term: numberTerm(t.val)}, nil
+	case tokIdent:
+		if strings.EqualFold(t.val, "bound") {
+			if _, err := p.expect(tokLParen, "(", false); err != nil {
+				return nil, err
+			}
+			v, err := p.expect(tokVar, "variable", false)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokRParen, ")", false); err != nil {
+				return nil, err
+			}
+			return &Bound{Var: v.val}, nil
+		}
+		return nil, p.lex.errf(t.pos, "unknown function %q", t.val)
+	case tokPName:
+		iri, err := p.expandPName(t)
+		if err != nil {
+			return nil, err
+		}
+		return &TermExpr{Term: rdf.IRI(iri)}, nil
+	default:
+		// In expression mode '<' lexes as less-than, so IRIs need the
+		// pattern-mode lexer; re-read this token as an IRI if it was '<'.
+		if t.kind == tokLt {
+			p.lex.i = p.bufStart
+			p.buf = nil
+			iriTok, err := p.take(true)
+			if err != nil {
+				return nil, err
+			}
+			if iriTok.kind == tokIRI {
+				return &TermExpr{Term: rdf.IRI(iriTok.val)}, nil
+			}
+			return nil, p.lex.errf(iriTok.pos, "expected expression, found %s", iriTok)
+		}
+		return nil, p.lex.errf(t.pos, "expected expression, found %s", t)
+	}
+}
+
+// validate performs the semantic checks the engines rely on.
+func validate(q *Query) error {
+	if q.Where == nil {
+		// Only pattern-less DESCRIBE <iri> may omit the WHERE clause.
+		if q.Form == FormDescribe && len(q.DescribeTerms) > 0 {
+			return nil
+		}
+		return &SyntaxError{Msg: "query has no WHERE pattern"}
+	}
+	// ORDER BY/ projection variables need not occur in the pattern per the
+	// spec (they are simply unbound) so no check is required; but an empty
+	// group is almost certainly a mistake.
+	if len(q.Where.Elements) == 0 && len(q.Where.Filters) == 0 {
+		return &SyntaxError{Msg: "empty WHERE pattern"}
+	}
+	if q.IsAggregate() {
+		if q.Form != FormSelect {
+			return &SyntaxError{Msg: "aggregates are only supported in SELECT queries"}
+		}
+		grouped := map[string]bool{}
+		for _, g := range q.GroupBy {
+			grouped[g] = true
+		}
+		for _, v := range q.Vars {
+			if !grouped[v] {
+				return &SyntaxError{Msg: "plain projection ?" + v + " must appear in GROUP BY"}
+			}
+		}
+		if len(q.Aggregates) == 0 {
+			return &SyntaxError{Msg: "GROUP BY without aggregates"}
+		}
+		seen := map[string]bool{}
+		for _, a := range q.Aggregates {
+			if grouped[a.As] || seen[a.As] {
+				return &SyntaxError{Msg: "duplicate output column ?" + a.As}
+			}
+			seen[a.As] = true
+		}
+	}
+	return nil
+}

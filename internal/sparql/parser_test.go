@@ -1,0 +1,361 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"sp2bench/internal/rdf"
+)
+
+func parse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src, rdf.Prefixes)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return q
+}
+
+func TestParseMinimalSelect(t *testing.T) {
+	q := parse(t, `SELECT ?x WHERE { ?x rdf:type bench:Article }`)
+	if q.Form != FormSelect {
+		t.Fatal("form must be SELECT")
+	}
+	if len(q.Vars) != 1 || q.Vars[0] != "x" {
+		t.Fatalf("vars = %v", q.Vars)
+	}
+	if q.Limit != -1 || q.Offset != -1 || q.Distinct {
+		t.Fatal("modifiers must default to absent")
+	}
+	bgp, ok := q.Where.Elements[0].(*BGP)
+	if !ok || len(bgp.Patterns) != 1 {
+		t.Fatalf("expected one BGP with one pattern, got %v", q.Where.Elements)
+	}
+	p := bgp.Patterns[0]
+	if !p.S.IsVar || p.S.Var != "x" {
+		t.Error("subject must be ?x")
+	}
+	if p.P.IsVar || p.P.Term != rdf.IRI(rdf.RDFType) {
+		t.Error("predicate must expand rdf:type")
+	}
+	if p.O.Term != rdf.IRI(rdf.BenchArticle) {
+		t.Error("object must expand bench:Article")
+	}
+}
+
+func TestParseWithoutWhereKeyword(t *testing.T) {
+	q := parse(t, `SELECT ?x { ?x rdf:type foaf:Person }`)
+	if len(q.Where.Elements) != 1 {
+		t.Fatal("WHERE keyword must be optional")
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	q := parse(t, `SELECT * WHERE { ?s ?p ?o }`)
+	if len(q.Vars) != 0 {
+		t.Fatal("SELECT * must leave Vars empty")
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	q := parse(t, `SELECT DISTINCT ?x WHERE { ?x ?p ?o }`)
+	if !q.Distinct {
+		t.Fatal("DISTINCT not recognized")
+	}
+}
+
+func TestParseAKeyword(t *testing.T) {
+	q := parse(t, `SELECT ?x WHERE { ?x a foaf:Person }`)
+	bgp := q.Where.Elements[0].(*BGP)
+	if bgp.Patterns[0].P.Term != rdf.IRI(rdf.RDFType) {
+		t.Fatal("'a' must expand to rdf:type")
+	}
+}
+
+func TestParseSemicolonAndCommaAbbreviations(t *testing.T) {
+	q := parse(t, `SELECT ?x WHERE {
+		?x a bench:Article ;
+		   dc:creator ?a, ?b ;
+		   dc:title ?t .
+	}`)
+	bgp := q.Where.Elements[0].(*BGP)
+	if len(bgp.Patterns) != 4 {
+		t.Fatalf("expected 4 expanded patterns, got %d", len(bgp.Patterns))
+	}
+	for _, p := range bgp.Patterns {
+		if !p.S.IsVar || p.S.Var != "x" {
+			t.Fatal("all patterns share subject ?x")
+		}
+	}
+}
+
+func TestParseTypedLiteral(t *testing.T) {
+	q := parse(t, `SELECT ?j WHERE { ?j dc:title "Journal 1 (1940)"^^xsd:string }`)
+	bgp := q.Where.Elements[0].(*BGP)
+	want := rdf.TypedLiteral("Journal 1 (1940)", rdf.XSDString)
+	if bgp.Patterns[0].O.Term != want {
+		t.Fatalf("object = %v, want %v", bgp.Patterns[0].O.Term, want)
+	}
+}
+
+func TestParseFullIRILiteralDatatype(t *testing.T) {
+	q := parse(t, `SELECT ?j WHERE { ?j <http://p> "5"^^<http://dt> }`)
+	bgp := q.Where.Elements[0].(*BGP)
+	if bgp.Patterns[0].O.Term != rdf.TypedLiteral("5", "http://dt") {
+		t.Fatal("full-IRI datatype mishandled")
+	}
+}
+
+func TestParseNumberLiterals(t *testing.T) {
+	q := parse(t, `SELECT ?x WHERE { ?x swrc:month 11 . ?x swrc:volume 2.5 }`)
+	bgp := q.Where.Elements[0].(*BGP)
+	if bgp.Patterns[0].O.Term != rdf.TypedLiteral("11", rdf.XSDInteger) {
+		t.Fatal("integer literal mistyped")
+	}
+	if bgp.Patterns[1].O.Term != rdf.TypedLiteral("2.5", rdf.XSDDecimal) {
+		t.Fatal("decimal literal mistyped")
+	}
+}
+
+func TestParsePrefixDeclarationOverride(t *testing.T) {
+	q := parse(t, `PREFIX bench: <http://other/> SELECT ?x WHERE { ?x a bench:Thing }`)
+	bgp := q.Where.Elements[0].(*BGP)
+	if bgp.Patterns[0].O.Term != rdf.IRI("http://other/Thing") {
+		t.Fatal("query-level PREFIX must override the defaults")
+	}
+}
+
+func TestParseOptional(t *testing.T) {
+	q := parse(t, `SELECT ?x ?ab WHERE {
+		?x a bench:Article
+		OPTIONAL { ?x bench:abstract ?ab }
+	}`)
+	if len(q.Where.Elements) != 2 {
+		t.Fatalf("expected BGP + OPTIONAL, got %d elements", len(q.Where.Elements))
+	}
+	opt, ok := q.Where.Elements[1].(*Optional)
+	if !ok {
+		t.Fatalf("second element is %T, want *Optional", q.Where.Elements[1])
+	}
+	if len(opt.Pattern.Elements) != 1 {
+		t.Fatal("OPTIONAL group lost its pattern")
+	}
+}
+
+func TestParseFilterInsideOptionalStaysInGroup(t *testing.T) {
+	q := parse(t, `SELECT ?x WHERE {
+		?x a bench:Article
+		OPTIONAL { ?y a bench:Article FILTER (?x = ?y) }
+	}`)
+	opt := q.Where.Elements[1].(*Optional)
+	if len(opt.Pattern.Filters) != 1 {
+		t.Fatal("FILTER inside OPTIONAL must attach to the inner group")
+	}
+	if len(q.Where.Filters) != 0 {
+		t.Fatal("FILTER leaked to the outer group")
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := parse(t, `SELECT ?p WHERE {
+		{ ?p a foaf:Person } UNION { ?p a foaf:Document }
+	}`)
+	u, ok := q.Where.Elements[0].(*Union)
+	if !ok {
+		t.Fatalf("element is %T, want *Union", q.Where.Elements[0])
+	}
+	if len(u.Left.Elements) != 1 || len(u.Right.Elements) != 1 {
+		t.Fatal("union branches lost their patterns")
+	}
+}
+
+func TestParseUnionChain(t *testing.T) {
+	q := parse(t, `SELECT ?p WHERE {
+		{ ?p a foaf:Person } UNION { ?p a foaf:Document } UNION { ?p a bench:Journal }
+	}`)
+	u, ok := q.Where.Elements[0].(*Union)
+	if !ok {
+		t.Fatal("expected top-level union")
+	}
+	if _, ok := u.Left.Elements[0].(*Union); !ok {
+		t.Fatal("UNION must chain left-associatively")
+	}
+}
+
+func TestParseGroupWithoutUnion(t *testing.T) {
+	q := parse(t, `SELECT ?p WHERE { { ?p a foaf:Person } }`)
+	if _, ok := q.Where.Elements[0].(*Group); !ok {
+		t.Fatalf("element is %T, want *Group", q.Where.Elements[0])
+	}
+}
+
+func TestParseFilterExpressions(t *testing.T) {
+	q := parse(t, `SELECT ?x WHERE {
+		?x dcterms:issued ?yr .
+		?x foaf:name ?n
+		FILTER (?yr < 1950 && (?n = "A" || ?n != "B") && !bound(?x) && ?yr >= 10 && ?yr <= 20 && ?yr > 5)
+	}`)
+	if len(q.Where.Filters) != 1 {
+		t.Fatal("filter missing")
+	}
+	s := q.Where.Filters[0].String()
+	for _, frag := range []string{"<", "&&", "||", "!=", "bound(?x)", ">=", "<=", ">"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("filter %s missing fragment %q", s, frag)
+		}
+	}
+}
+
+func TestParseBareBoundFilter(t *testing.T) {
+	q := parse(t, `SELECT ?x WHERE { ?x ?p ?o FILTER !bound(?y) }`)
+	if _, ok := q.Where.Filters[0].(*Not); !ok {
+		t.Fatalf("filter is %T, want *Not", q.Where.Filters[0])
+	}
+}
+
+func TestParseIRIInExpression(t *testing.T) {
+	q := parse(t, `SELECT ?x WHERE { ?x ?property ?v FILTER (?property = <http://swrc.ontoware.org/ontology#pages>) }`)
+	bin := q.Where.Filters[0].(*Binary)
+	te, ok := bin.Right.(*TermExpr)
+	if !ok || te.Term != rdf.IRI("http://swrc.ontoware.org/ontology#pages") {
+		t.Fatalf("IRI in expression mishandled: %v", bin.Right)
+	}
+}
+
+func TestParseOrderLimitOffset(t *testing.T) {
+	q := parse(t, `SELECT ?ee WHERE { ?p rdfs:seeAlso ?ee } ORDER BY ?ee LIMIT 10 OFFSET 50`)
+	if len(q.OrderBy) != 1 || q.OrderBy[0].Var != "ee" || q.OrderBy[0].Desc {
+		t.Fatalf("order by = %v", q.OrderBy)
+	}
+	if q.Limit != 10 || q.Offset != 50 {
+		t.Fatalf("limit/offset = %d/%d", q.Limit, q.Offset)
+	}
+}
+
+func TestParseOrderAscDesc(t *testing.T) {
+	q := parse(t, `SELECT ?a ?b WHERE { ?x ?p ?a . ?x ?q ?b } ORDER BY DESC(?a) ASC(?b)`)
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Fatalf("order by = %v", q.OrderBy)
+	}
+}
+
+func TestParseAsk(t *testing.T) {
+	q := parse(t, `ASK { person:John_Q_Public rdf:type foaf:Person }`)
+	if q.Form != FormAsk {
+		t.Fatal("form must be ASK")
+	}
+	bgp := q.Where.Elements[0].(*BGP)
+	if bgp.Patterns[0].S.Term != rdf.IRI(rdf.JohnQPublic) {
+		t.Fatal("person: prefix must expand")
+	}
+}
+
+func TestParseDollarVariable(t *testing.T) {
+	q := parse(t, `SELECT $x WHERE { $x a foaf:Person }`)
+	if len(q.Vars) != 1 || q.Vars[0] != "x" {
+		t.Fatal("$x must parse as variable x")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	q := parse(t, `# leading comment
+SELECT ?x # trailing comment
+WHERE { ?x a foaf:Person } # end`)
+	if len(q.Vars) != 1 {
+		t.Fatal("comments must be skipped")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ``},
+		{"no form", `WHERE { ?x ?p ?o }`},
+		{"no vars", `SELECT WHERE { ?x ?p ?o }`},
+		{"empty group", `SELECT ?x WHERE { }`},
+		{"unterminated group", `SELECT ?x WHERE { ?x ?p ?o`},
+		{"undeclared prefix", `SELECT ?x WHERE { ?x a missing:Thing }`},
+		{"literal subject", `SELECT ?x WHERE { "lit" ?p ?o }`},
+		{"trailing garbage", `SELECT ?x WHERE { ?x ?p ?o } nonsense`},
+		{"bad limit", `SELECT ?x WHERE { ?x ?p ?o } LIMIT ?x`},
+		{"single amp", `SELECT ?x WHERE { ?x ?p ?o FILTER (?x = ?x & ?x = ?x) }`},
+		{"single pipe", `SELECT ?x WHERE { ?x ?p ?o FILTER (?x = ?x | ?x = ?x) }`},
+		{"unterminated string", `SELECT ?x WHERE { ?x ?p "oops }`},
+		{"unknown function", `SELECT ?x WHERE { ?x ?p ?o FILTER regexp(?o) }`},
+		{"unclosed paren", `SELECT ?x WHERE { ?x ?p ?o FILTER (?x = ?x }`},
+		{"order by nothing", `SELECT ?x WHERE { ?x ?p ?o } ORDER BY LIMIT 3`},
+		{"empty variable", `SELECT ? WHERE { ?x ?p ?o }`},
+		{"bound without paren", `SELECT ?x WHERE { ?x ?p ?o FILTER bound ?x }`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Parse(tc.src, rdf.Prefixes); err == nil {
+				t.Errorf("expected error for %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestSyntaxErrorPosition(t *testing.T) {
+	_, err := Parse("SELECT ?x\nWHERE { ?x ?p }", rdf.Prefixes)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error is %T, want *SyntaxError", err)
+	}
+	if se.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Line)
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse must panic on bad input")
+		}
+	}()
+	MustParse("garbage", nil)
+}
+
+func TestExprVars(t *testing.T) {
+	q := parse(t, `SELECT ?x WHERE { ?x ?p ?o FILTER (?a = ?b && !bound(?c) && ?a < 5) }`)
+	vars := ExprVars(q.Where.Filters[0])
+	want := map[string]bool{"a": true, "b": true, "c": true}
+	if len(vars) != 3 {
+		t.Fatalf("ExprVars = %v, want a,b,c", vars)
+	}
+	for _, v := range vars {
+		if !want[v] {
+			t.Errorf("unexpected var %q", v)
+		}
+	}
+}
+
+func TestPatternVars(t *testing.T) {
+	tp := TriplePattern{S: Variable("x"), P: Variable("x"), O: Constant(rdf.IRI("o"))}
+	vars := tp.Vars()
+	if len(vars) != 1 || vars[0] != "x" {
+		t.Fatalf("Vars = %v, want [x] (deduplicated)", vars)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	// String() methods are diagnostics; they must at least mention the
+	// operator structure and not panic.
+	q := parse(t, `SELECT ?x WHERE {
+		?x a bench:Article
+		OPTIONAL { ?x bench:abstract ?a }
+		{ ?x ?p ?o } UNION { ?o ?p ?x }
+		FILTER (!bound(?a))
+	}`)
+	s := q.Where.String()
+	for _, frag := range []string{"OPTIONAL", "UNION", "FILTER", "!bound(?a)"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("group rendering %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Package store implements the physical storage substrate of the
+// benchmark: a dictionary-encoded, in-memory triple store with sorted
+// SPO/POS/OSP indexes and per-predicate statistics.
+//
+// This is the classic "triple table" design the paper's storage-scheme
+// discussion references: terms are interned to dense uint32 IDs, triples
+// are [3]uint32, and each index is a sorted slice answering prefix range
+// queries by binary search. The native engine uses the indexes; the
+// in-memory engine scans the unindexed triple slice, mirroring the two
+// engine families benchmarked in the paper.
+package store
+
+import (
+	"fmt"
+
+	"sp2bench/internal/rdf"
+)
+
+// ID is a dense dictionary identifier for an interned RDF term.
+// IDs start at 1; 0 is reserved as "no term" (used for unbound pattern
+// positions).
+type ID = uint32
+
+// NoID is the reserved identifier meaning "unbound" in lookup patterns.
+const NoID ID = 0
+
+// Dict interns RDF terms to dense IDs and resolves them back. It is the
+// shared vocabulary of a Store; IDs from different Dicts are not
+// comparable.
+type Dict struct {
+	ids   map[rdf.Term]ID
+	terms []rdf.Term // terms[i] is the term with ID i+1
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{ids: make(map[rdf.Term]ID, 1024)}
+}
+
+// Intern returns the ID for t, assigning a fresh one on first sight.
+func (d *Dict) Intern(t rdf.Term) ID {
+	if id, ok := d.ids[t]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id := ID(len(d.terms))
+	d.ids[t] = id
+	return id
+}
+
+// Lookup returns the ID for t without interning. ok is false when the term
+// has never been seen; queries use this to short-circuit patterns naming
+// constants absent from the data (e.g. Q12c's probe).
+func (d *Dict) Lookup(t rdf.Term) (ID, bool) {
+	id, ok := d.ids[t]
+	return id, ok
+}
+
+// Term resolves an ID back to its term. It panics on out-of-range IDs,
+// which indicate programmer error (mixing dictionaries), not bad input.
+func (d *Dict) Term(id ID) rdf.Term {
+	if id == NoID || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("store: invalid dictionary ID %d (size %d)", id, len(d.terms)))
+	}
+	return d.terms[id-1]
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int { return len(d.terms) }

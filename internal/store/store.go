@@ -1,0 +1,429 @@
+package store
+
+import (
+	"io"
+	"sort"
+
+	"sp2bench/internal/rdf"
+)
+
+// EncTriple is a dictionary-encoded triple in subject/predicate/object
+// order.
+type EncTriple [3]ID
+
+// Order identifies one of the three component orderings the store indexes.
+type Order uint8
+
+// The three index orderings. Together they answer every bound/unbound
+// combination of a triple pattern with one binary-searched range:
+//
+//	S?? SP? SPO -> SPO;  ?P? ?PO -> POS;  ??O S?O -> OSP;  ??? -> scan.
+const (
+	OrderSPO Order = iota
+	OrderPOS
+	OrderOSP
+)
+
+func (o Order) String() string {
+	switch o {
+	case OrderSPO:
+		return "SPO"
+	case OrderPOS:
+		return "POS"
+	default:
+		return "OSP"
+	}
+}
+
+// permute maps an SPO-ordered triple into the index's component order.
+func (o Order) permute(t EncTriple) EncTriple {
+	switch o {
+	case OrderSPO:
+		return t
+	case OrderPOS:
+		return EncTriple{t[1], t[2], t[0]}
+	default: // OrderOSP
+		return EncTriple{t[2], t[0], t[1]}
+	}
+}
+
+// unpermute maps an index-ordered triple back to SPO order.
+func (o Order) unpermute(t EncTriple) EncTriple {
+	switch o {
+	case OrderSPO:
+		return t
+	case OrderPOS:
+		return EncTriple{t[2], t[0], t[1]}
+	default: // OrderOSP
+		return EncTriple{t[1], t[2], t[0]}
+	}
+}
+
+// Store is an immutable-after-Freeze, dictionary-encoded triple store.
+//
+// Usage: Add/AddTriple while loading, then Freeze once to build the sorted
+// indexes, then query. Freeze deduplicates (RDF graphs are sets). The
+// unindexed triple slice remains available for engines that model
+// index-free scanning.
+type Store struct {
+	dict    *Dict
+	triples []EncTriple // SPO order after Freeze; insertion order before
+	indexes [3][]EncTriple
+	frozen  bool
+
+	predCount  map[ID]int // triples per predicate (statistics)
+	predSubj   map[ID]map[ID]struct{}
+	predObj    map[ID]map[ID]struct{}
+	distinctSP map[ID]int // distinct subjects per predicate
+	distinctOP map[ID]int // distinct objects per predicate
+
+	totalDistinctSubj int
+	totalDistinctObj  int
+}
+
+// New returns an empty store with a fresh dictionary.
+func New() *Store {
+	return &Store{
+		dict:      NewDict(),
+		predCount: make(map[ID]int),
+		predSubj:  make(map[ID]map[ID]struct{}),
+		predObj:   make(map[ID]map[ID]struct{}),
+	}
+}
+
+// Dict exposes the store's dictionary.
+func (s *Store) Dict() *Dict { return s.dict }
+
+// Add interns and stores one triple given as terms.
+func (s *Store) Add(t rdf.Triple) {
+	s.AddEncoded(EncTriple{
+		s.dict.Intern(t.S),
+		s.dict.Intern(t.P),
+		s.dict.Intern(t.O),
+	})
+}
+
+// AddEncoded stores an already-encoded triple. The IDs must come from this
+// store's dictionary.
+func (s *Store) AddEncoded(t EncTriple) {
+	if s.frozen {
+		panic("store: Add after Freeze")
+	}
+	s.triples = append(s.triples, t)
+}
+
+// Load reads every triple from an N-Triples reader into the store and
+// freezes it. It returns the number of parsed statements, which can
+// exceed Len() when the input contains duplicates.
+func (s *Store) Load(r io.Reader) (int, error) {
+	nr := rdf.NewReader(r)
+	n := 0
+	for {
+		t, err := nr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return n, err
+		}
+		s.Add(t)
+		n++
+	}
+	s.Freeze()
+	return n, nil
+}
+
+// Freeze deduplicates the graph, builds the three sorted indexes and the
+// per-predicate statistics, and makes the store queryable. Calling Freeze
+// twice is a no-op.
+func (s *Store) Freeze() {
+	if s.frozen {
+		return
+	}
+	sortTriples(s.triples)
+	s.triples = dedup(s.triples)
+
+	for _, ord := range []Order{OrderPOS, OrderOSP} {
+		idx := make([]EncTriple, len(s.triples))
+		for i, t := range s.triples {
+			idx[i] = ord.permute(t)
+		}
+		sortTriples(idx)
+		s.indexes[ord] = idx
+	}
+	s.indexes[OrderSPO] = s.triples
+
+	for _, t := range s.triples {
+		s.predCount[t[1]]++
+		subjSet := s.predSubj[t[1]]
+		if subjSet == nil {
+			subjSet = make(map[ID]struct{})
+			s.predSubj[t[1]] = subjSet
+		}
+		subjSet[t[0]] = struct{}{}
+		objSet := s.predObj[t[1]]
+		if objSet == nil {
+			objSet = make(map[ID]struct{})
+			s.predObj[t[1]] = objSet
+		}
+		objSet[t[2]] = struct{}{}
+	}
+	s.distinctSP = make(map[ID]int, len(s.predSubj))
+	for p, set := range s.predSubj {
+		s.distinctSP[p] = len(set)
+	}
+	s.distinctOP = make(map[ID]int, len(s.predObj))
+	for p, set := range s.predObj {
+		s.distinctOP[p] = len(set)
+	}
+	// The per-ID sets are only needed to compute the counts.
+	s.predSubj, s.predObj = nil, nil
+
+	// Global distinct counts come free from the sorted indexes: count the
+	// leading-component transitions.
+	s.totalDistinctSubj = leadingDistinct(s.indexes[OrderSPO])
+	s.totalDistinctObj = leadingDistinct(s.indexes[OrderOSP])
+	s.frozen = true
+}
+
+func leadingDistinct(idx []EncTriple) int {
+	n := 0
+	var prev ID
+	for i, t := range idx {
+		if i == 0 || t[0] != prev {
+			n++
+			prev = t[0]
+		}
+	}
+	return n
+}
+
+// Frozen reports whether Freeze has been called.
+func (s *Store) Frozen() bool { return s.frozen }
+
+// Update applies a batch of new triples to a frozen store and re-freezes
+// it, rebuilding the indexes and statistics. This supports the paper's
+// proposed update extension: DBLP-style data is append-only, so updates
+// are insert batches (e.g. one simulated year from gen.UpdateStream).
+// The cost is a full index rebuild — the honest price of the sorted-array
+// design; engines with incremental index maintenance would amortize it.
+func (s *Store) Update(batch io.Reader) (int, error) {
+	s.thaw()
+	return s.Load(batch)
+}
+
+// UpdateTriples is Update for an in-memory batch.
+func (s *Store) UpdateTriples(batch []rdf.Triple) {
+	s.thaw()
+	for _, t := range batch {
+		s.Add(t)
+	}
+	s.Freeze()
+}
+
+// thaw reverts a frozen store to loadable state, dropping the derived
+// indexes and statistics (the dictionary and triples are kept).
+func (s *Store) thaw() {
+	if !s.frozen {
+		return
+	}
+	s.frozen = false
+	s.indexes[OrderPOS] = nil
+	s.indexes[OrderOSP] = nil
+	s.indexes[OrderSPO] = nil
+	s.predCount = make(map[ID]int)
+	s.predSubj = make(map[ID]map[ID]struct{})
+	s.predObj = make(map[ID]map[ID]struct{})
+	s.distinctSP, s.distinctOP = nil, nil
+	s.totalDistinctSubj, s.totalDistinctObj = 0, 0
+}
+
+// Len returns the number of (distinct, after Freeze) triples.
+func (s *Store) Len() int { return len(s.triples) }
+
+// Triples exposes the raw SPO-ordered triple slice. Callers must not
+// mutate it. The in-memory engine iterates it directly.
+func (s *Store) Triples() []EncTriple { return s.triples }
+
+func sortTriples(ts []EncTriple) {
+	sort.Slice(ts, func(i, j int) bool { return lessTriple(ts[i], ts[j]) })
+}
+
+func lessTriple(a, b EncTriple) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	if a[1] != b[1] {
+		return a[1] < b[1]
+	}
+	return a[2] < b[2]
+}
+
+func dedup(ts []EncTriple) []EncTriple {
+	if len(ts) == 0 {
+		return ts
+	}
+	out := ts[:1]
+	for _, t := range ts[1:] {
+		if t != out[len(out)-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Match returns the triples (in SPO component order) matching the pattern,
+// where NoID components are wildcards. The store must be frozen. The
+// returned slice aliases internal index storage only when a fresh slice is
+// not needed; callers must treat it as read-only.
+func (s *Store) Match(sub, pred, obj ID) []EncTriple {
+	it := s.Iterate(sub, pred, obj)
+	var out []EncTriple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Iterator yields encoded triples one at a time in index order.
+type Iterator struct {
+	rows  []EncTriple // index-ordered rows
+	order Order
+	// residual filters for components not covered by the index prefix
+	filt EncTriple // in index component order; NoID = no constraint
+	pos  int
+}
+
+// Next returns the next matching triple in SPO component order.
+func (it *Iterator) Next() (EncTriple, bool) {
+	for it.pos < len(it.rows) {
+		row := it.rows[it.pos]
+		it.pos++
+		if (it.filt[0] == NoID || row[0] == it.filt[0]) &&
+			(it.filt[1] == NoID || row[1] == it.filt[1]) &&
+			(it.filt[2] == NoID || row[2] == it.filt[2]) {
+			return it.order.unpermute(row), true
+		}
+	}
+	return EncTriple{}, false
+}
+
+// Iterate returns an iterator over triples matching the pattern; NoID
+// components are wildcards. It selects the index whose prefix covers the
+// bound components, so every lookup is one binary-searched range plus (for
+// the S?O case) a residual filter.
+func (s *Store) Iterate(sub, pred, obj ID) *Iterator {
+	if !s.frozen {
+		panic("store: Iterate before Freeze")
+	}
+	ord := ChooseOrder(sub != NoID, pred != NoID, obj != NoID)
+	key := ord.permute(EncTriple{sub, pred, obj})
+	idx := s.indexes[ord]
+
+	// Length of the bound prefix in index order.
+	prefix := 0
+	for prefix < 3 && key[prefix] != NoID {
+		prefix++
+	}
+	lo, hi := rangeOf(idx, key, prefix)
+	var filt EncTriple
+	for i := prefix; i < 3; i++ {
+		filt[i] = key[i] // any bound component past the prefix is residual
+	}
+	return &Iterator{rows: idx[lo:hi], order: ord, filt: filt}
+}
+
+// ChooseOrder picks the index ordering whose prefix covers the given bound
+// components. Exported for the optimizer's cost model and for tests.
+func ChooseOrder(sBound, pBound, oBound bool) Order {
+	switch {
+	case sBound: // S??, SP?, SPO, S?O
+		if oBound && !pBound {
+			return OrderOSP // S?O: O is the more selective lead in practice
+		}
+		return OrderSPO
+	case pBound:
+		return OrderPOS // ?P?, ?PO
+	case oBound:
+		return OrderOSP // ??O
+	default:
+		return OrderSPO // ???: full scan
+	}
+}
+
+// rangeOf binary-searches the half-open row range whose first `prefix`
+// components equal key's.
+func rangeOf(idx []EncTriple, key EncTriple, prefix int) (int, int) {
+	if prefix == 0 {
+		return 0, len(idx)
+	}
+	cmp := func(t EncTriple) int {
+		for i := 0; i < prefix; i++ {
+			if t[i] != key[i] {
+				if t[i] < key[i] {
+					return -1
+				}
+				return 1
+			}
+		}
+		return 0
+	}
+	lo := sort.Search(len(idx), func(i int) bool { return cmp(idx[i]) >= 0 })
+	hi := sort.Search(len(idx), func(i int) bool { return cmp(idx[i]) > 0 })
+	return lo, hi
+}
+
+// Count returns the number of triples matching the pattern without
+// materializing them. For prefix-covered patterns this is O(log n).
+func (s *Store) Count(sub, pred, obj ID) int {
+	if !s.frozen {
+		panic("store: Count before Freeze")
+	}
+	ord := ChooseOrder(sub != NoID, pred != NoID, obj != NoID)
+	key := ord.permute(EncTriple{sub, pred, obj})
+	prefix := 0
+	for prefix < 3 && key[prefix] != NoID {
+		prefix++
+	}
+	allPrefix := true
+	for i := prefix; i < 3; i++ {
+		if key[i] != NoID {
+			allPrefix = false
+		}
+	}
+	lo, hi := rangeOf(s.indexes[ord], key, prefix)
+	if allPrefix {
+		return hi - lo
+	}
+	n := 0
+	it := s.Iterate(sub, pred, obj)
+	for {
+		if _, ok := it.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// Statistics used by the native engine's selectivity estimator.
+
+// PredCardinality returns the number of triples with predicate p.
+func (s *Store) PredCardinality(p ID) int { return s.predCount[p] }
+
+// DistinctSubjects returns the number of distinct subjects under p.
+func (s *Store) DistinctSubjects(p ID) int { return s.distinctSP[p] }
+
+// DistinctObjects returns the number of distinct objects under p.
+func (s *Store) DistinctObjects(p ID) int { return s.distinctOP[p] }
+
+// TotalDistinctSubjects returns the number of distinct subjects.
+func (s *Store) TotalDistinctSubjects() int { return s.totalDistinctSubj }
+
+// TotalDistinctObjects returns the number of distinct objects.
+func (s *Store) TotalDistinctObjects() int { return s.totalDistinctObj }
+
+// DistinctPredicates returns the number of distinct predicates.
+func (s *Store) DistinctPredicates() int { return len(s.predCount) }

@@ -1,0 +1,108 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"sp2bench/internal/rdf"
+)
+
+func TestUpdateReader(t *testing.T) {
+	s := buildStore([3]string{"a", "p", "b"})
+	n, err := s.Update(strings.NewReader(
+		"<c> <p> <d> .\n<a> <p> <b> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("Update parsed %d statements, want 2", n)
+	}
+	if !s.Frozen() {
+		t.Fatal("Update must leave the store frozen")
+	}
+	if s.Len() != 2 { // <a p b> deduplicated
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	// New triple must be visible through every index.
+	c, _ := s.Dict().Lookup(rdf.IRI("c"))
+	d, _ := s.Dict().Lookup(rdf.IRI("d"))
+	if got := s.Count(c, NoID, NoID); got != 1 {
+		t.Errorf("subject index missed the update: %d", got)
+	}
+	if got := s.Count(NoID, NoID, d); got != 1 {
+		t.Errorf("object index missed the update: %d", got)
+	}
+}
+
+func TestUpdateTriples(t *testing.T) {
+	s := buildStore([3]string{"a", "p", "b"})
+	p1, _ := s.Dict().Lookup(rdf.IRI("p"))
+	before := s.PredCardinality(p1)
+	s.UpdateTriples([]rdf.Triple{
+		rdf.NewTriple(rdf.IRI("x"), rdf.IRI("p"), rdf.IRI("y")),
+		rdf.NewTriple(rdf.IRI("x"), rdf.IRI("q"), rdf.IRI("z")),
+	})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	// Statistics must be rebuilt, not stale.
+	if got := s.PredCardinality(p1); got != before+1 {
+		t.Errorf("PredCardinality(p) = %d, want %d", got, before+1)
+	}
+	if s.DistinctPredicates() != 2 {
+		t.Errorf("DistinctPredicates = %d, want 2", s.DistinctPredicates())
+	}
+}
+
+// TestUpdateEqualsBulkLoad: loading base+delta incrementally equals
+// loading the concatenation at once.
+func TestUpdateEqualsBulkLoad(t *testing.T) {
+	base := "<a> <p> <b> .\n<b> <p> <c> .\n"
+	delta := "<c> <p> <d> .\n<a> <q> \"lit\" .\n"
+
+	inc := New()
+	if _, err := inc.Load(strings.NewReader(base)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inc.Update(strings.NewReader(delta)); err != nil {
+		t.Fatal(err)
+	}
+
+	bulk := New()
+	if _, err := bulk.Load(strings.NewReader(base + delta)); err != nil {
+		t.Fatal(err)
+	}
+
+	if inc.Len() != bulk.Len() {
+		t.Fatalf("incremental store has %d triples, bulk has %d", inc.Len(), bulk.Len())
+	}
+	// Same triples term-wise (IDs may differ between dictionaries).
+	set := map[string]bool{}
+	for _, tr := range bulk.Triples() {
+		d := bulk.Dict()
+		set[rdf.NewTriple(d.Term(tr[0]), d.Term(tr[1]), d.Term(tr[2])).String()] = true
+	}
+	for _, tr := range inc.Triples() {
+		d := inc.Dict()
+		key := rdf.NewTriple(d.Term(tr[0]), d.Term(tr[1]), d.Term(tr[2])).String()
+		if !set[key] {
+			t.Fatalf("incremental store has extra triple %s", key)
+		}
+		delete(set, key)
+	}
+	if len(set) != 0 {
+		t.Fatalf("incremental store is missing %d triples", len(set))
+	}
+}
+
+func TestUpdateBadInputKeepsStoreUsable(t *testing.T) {
+	s := buildStore([3]string{"a", "p", "b"})
+	if _, err := s.Update(strings.NewReader("garbage")); err == nil {
+		t.Fatal("expected parse error")
+	}
+	// The store is thawed but re-freezable.
+	s.Freeze()
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
