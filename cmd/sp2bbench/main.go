@@ -8,6 +8,7 @@
 //	sp2bbench -scales 10k,50k,250k           # restrict document sizes
 //	sp2bbench -timeout 30m -runs 3           # the paper's full protocol
 //	sp2bbench -experiment ablation           # optimizer ablations
+//	sp2bbench -clients 8 -scales 10k         # concurrent query mix
 //	sp2bbench -experiment fig2b -gen 1000000 # generator distributions
 //
 // Experiments: all, table3, table4, table5, table6, table7, table8,
@@ -29,6 +30,7 @@ func main() {
 		scales     = flag.String("scales", "10k,50k,250k,1M", "comma-separated scales (10k,50k,250k,1M,5M,25M)")
 		timeout    = flag.Duration("timeout", 15*time.Second, "per-query timeout (paper: 30m)")
 		runs       = flag.Int("runs", 1, "measured runs per cell (paper: 3)")
+		clients    = flag.Int("clients", 1, "concurrent clients driving the query mix (1 = sequential protocol)")
 		seed       = flag.Uint64("seed", 1, "generator seed")
 		memLimit   = flag.Uint64("memlimit", 0, "heap limit in bytes (0 = off)")
 		workdir    = flag.String("workdir", "", "directory caching generated documents")
@@ -41,6 +43,7 @@ func main() {
 	cfg := harness.DefaultConfig()
 	cfg.Timeout = *timeout
 	cfg.Runs = *runs
+	cfg.Clients = *clients
 	cfg.Seed = *seed
 	cfg.MemLimitBytes = *memLimit
 	cfg.WorkDir = *workdir
@@ -128,6 +131,13 @@ func main() {
 		fmt.Println("all paper shape expectations hold")
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *experiment))
+	}
+	// RenderAll already includes the concurrency summary; every other
+	// experiment gets it appended so the drive-level CPU/memory figures
+	// are always reachable in concurrent mode.
+	if *experiment != "all" && len(rep.Mixes) > 0 {
+		fmt.Println()
+		rep.RenderConcurrency(os.Stdout)
 	}
 }
 

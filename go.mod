@@ -1,0 +1,3 @@
+module sp2bench
+
+go 1.21

@@ -1,0 +1,86 @@
+// Package dist holds the SP2Bench DBLP distribution model (Section III
+// of the paper): the document-class taxonomy with its per-year growth
+// curves, the per-class attribute probability matrix of Tables I/IX, the
+// Gaussian author/editor/citation curves of Section III-C/D, and the
+// constants of the special author Paul Erdős. The generator in
+// internal/gen is parameterized entirely by this package; the harness
+// renderers compare generated documents back against it.
+//
+// All functions take absolute years (the DBLP study effectively starts
+// in 1936) and are pure: the package holds no state and is safe for
+// concurrent use.
+package dist
+
+// Class enumerates the eight DBLP document classes of Section III-A.
+type Class int
+
+// The document classes, in the order of the paper's tables.
+const (
+	ClassArticle Class = iota
+	ClassInproceedings
+	ClassProceedings
+	ClassBook
+	ClassIncollection
+	ClassPhD
+	ClassMasters
+	ClassWWW
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"article", "inproceedings", "proceedings", "book",
+	"incollection", "phdthesis", "mastersthesis", "www",
+}
+
+func (c Class) String() string {
+	if c < 0 || c >= NumClasses {
+		return "class?"
+	}
+	return classNames[c]
+}
+
+// Attr enumerates the DBLP document attributes modeled in Table IX. The
+// generator stores attribute sets as a uint32 bitmask, so NumAttrs must
+// stay below 32.
+type Attr int
+
+// The attributes, named after their DBLP tags.
+const (
+	AttrTitle Attr = iota
+	AttrAuthor
+	AttrEditor
+	AttrYear
+	AttrJournal
+	AttrCrossref
+	AttrBooktitle
+	AttrPages
+	AttrURL
+	AttrEE
+	AttrCite
+	AttrVolume
+	AttrNumber
+	AttrMonth
+	AttrChapter
+	AttrSeries
+	AttrISBN
+	AttrPublisher
+	AttrSchool
+	AttrAddress
+	AttrNote
+	AttrCdrom
+	NumAttrs
+)
+
+var attrNames = [NumAttrs]string{
+	"title", "author", "editor", "year", "journal", "crossref",
+	"booktitle", "pages", "url", "ee", "cite", "volume", "number",
+	"month", "chapter", "series", "isbn", "publisher", "school",
+	"address", "note", "cdrom",
+}
+
+func (a Attr) String() string {
+	if a < 0 || a >= NumAttrs {
+		return "attr?"
+	}
+	return attrNames[a]
+}

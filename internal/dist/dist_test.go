@@ -1,0 +1,213 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestProbabilitiesWellFormed(t *testing.T) {
+	for a := Attr(0); a < NumAttrs; a++ {
+		for c := Class(0); c < NumClasses; c++ {
+			p := Prob(a, c)
+			if p < 0 || p > 1 {
+				t.Errorf("Prob(%v, %v) = %v outside [0,1]", a, c, p)
+			}
+		}
+	}
+	// Out-of-range lookups are inert, not panics.
+	if Prob(-1, ClassArticle) != 0 || Prob(NumAttrs, ClassArticle) != 0 ||
+		Prob(AttrTitle, -1) != 0 || Prob(AttrTitle, NumClasses) != 0 {
+		t.Error("out-of-range Prob must be 0")
+	}
+}
+
+// TestStructuralZerosAndOnes pins the matrix cells the benchmark queries
+// depend on: titles and years are universal, articles never carry an
+// ISBN (Q3c must stay empty), only articles reference journals, theses
+// always name a school and an author.
+func TestStructuralZerosAndOnes(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if Prob(AttrTitle, c) != 1 {
+			t.Errorf("title prob for %v = %v, want 1", c, Prob(AttrTitle, c))
+		}
+		if Prob(AttrYear, c) != 1 {
+			t.Errorf("year prob for %v = %v, want 1", c, Prob(AttrYear, c))
+		}
+		if c != ClassArticle && Prob(AttrJournal, c) != 0 {
+			t.Errorf("%v must never reference a journal", c)
+		}
+	}
+	if Prob(AttrISBN, ClassArticle) != 0 {
+		t.Error("articles must never carry swrc:isbn")
+	}
+	for _, c := range []Class{ClassPhD, ClassMasters} {
+		if Prob(AttrSchool, c) != 1 || Prob(AttrAuthor, c) != 1 {
+			t.Errorf("theses (%v) must always have school and author", c)
+		}
+	}
+	if Prob(AttrBooktitle, ClassInproceedings) != 1 {
+		t.Error("inproceedings must always carry a booktitle")
+	}
+	if Prob(AttrEditor, ClassProceedings) < 0.5 {
+		t.Error("proceedings must usually have editors (Q9 needs swrc:editor)")
+	}
+	if Prob(AttrAuthor, ClassProceedings) > 0.01 {
+		t.Error("proceedings are essentially never authored")
+	}
+}
+
+func TestGrowthCurvesMonotone(t *testing.T) {
+	curves := map[string]Logistic{
+		"article": Article, "inproceedings": Inproceedings,
+		"proceedings": Proceedings, "journal": Journal,
+		"book": Book, "incollection": Incollection,
+	}
+	for name, l := range curves {
+		prev := -1.0
+		for yr := 1936; yr <= 2036; yr++ {
+			v := l.At(yr)
+			if v < 0 || v > l.Limit {
+				t.Fatalf("%s.At(%d) = %v outside (0, limit=%v)", name, yr, v, l.Limit)
+			}
+			if v < prev {
+				t.Fatalf("%s not monotone at %d: %v after %v", name, yr, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestEarlyYearsShape pins the ramp the generator's fix-ups and the
+// paper's Table VIII shapes depend on: the 1930s-1950s carry articles
+// and at least one journal, while books stay absent until the 1960s.
+func TestEarlyYearsShape(t *testing.T) {
+	round := func(x float64) int { return int(math.Floor(x + 0.5)) }
+	if round(Article.At(1936)) < 10 {
+		t.Errorf("articles in 1936 = %v; the early community must exist", Article.At(1936))
+	}
+	if round(Journal.At(1940)) < 1 {
+		t.Errorf("1940 must have a journal (Q1 anchors on Journal 1 (1940)), got %v", Journal.At(1940))
+	}
+	for yr := 1936; yr <= 1960; yr++ {
+		if round(Book.At(yr)) != 0 {
+			t.Errorf("books must not appear by %d (got %v)", yr, Book.At(yr))
+		}
+	}
+	// Articles dominate proceedings by an order of magnitude early on.
+	if Article.At(1955) < 10*Proceedings.At(1955) {
+		t.Errorf("article/proceedings ratio too small in 1955: %v vs %v",
+			Article.At(1955), Proceedings.At(1955))
+	}
+}
+
+func TestThesisConstants(t *testing.T) {
+	if PhDStart <= 1960 || MastersStart <= 1960 || WWWStart < 1990 {
+		t.Error("thesis and web classes must start late (Table VIII shape)")
+	}
+	if PhDMax <= 0 || MastersMax <= 0 || WWWMax <= 0 {
+		t.Error("per-year maxima must be positive")
+	}
+}
+
+func TestErdosConstants(t *testing.T) {
+	if ErdosFirstYear != 1940 || ErdosLastYear != 1996 {
+		t.Errorf("Erdős active years = [%d, %d], want [1940, 1996]", ErdosFirstYear, ErdosLastYear)
+	}
+	if ErdosPublications != 10 || ErdosEditorials != 2 {
+		t.Errorf("Erdős quota = %d pubs / %d editorials, want 10 / 2", ErdosPublications, ErdosEditorials)
+	}
+	// The generator hands him ErdosPublications creator slots per year;
+	// the growth curves must supply enough authored documents from the
+	// first active year on.
+	authored := Article.At(ErdosFirstYear) * Prob(AttrAuthor, ClassArticle)
+	if authored < float64(ErdosPublications) {
+		t.Errorf("only %.1f authored articles in %d; Erdős needs %d",
+			authored, ErdosFirstYear, ErdosPublications)
+	}
+}
+
+func TestGaussianDensity(t *testing.T) {
+	for _, g := range []Gaussian{Editor, Cite, AbstractGaussian} {
+		if g.Mu <= 0 || g.Sigma <= 0 {
+			t.Fatalf("degenerate Gaussian %+v", g)
+		}
+		// The density must peak at the mean and sum to ~1 over the
+		// integers.
+		if g.P(g.Mu) < g.P(g.Mu+g.Sigma) {
+			t.Errorf("density of %+v not peaked at mu", g)
+		}
+		sum := 0.0
+		for x := g.Mu - 8*g.Sigma; x <= g.Mu+8*g.Sigma; x++ {
+			sum += g.P(x)
+		}
+		if math.Abs(sum-1) > 0.01 {
+			t.Errorf("density of %+v sums to %v over the integers", g, sum)
+		}
+	}
+}
+
+func TestAuthorCurves(t *testing.T) {
+	prevMu := 0.0
+	for yr := 1936; yr <= 2036; yr++ {
+		mu := AuthorsMu(yr)
+		if mu < 1 || mu > 3 {
+			t.Fatalf("AuthorsMu(%d) = %v outside [1,3]", yr, mu)
+		}
+		if mu < prevMu {
+			t.Fatalf("AuthorsMu not monotone at %d", yr)
+		}
+		prevMu = mu
+		if s := AuthorsSigma(yr); s <= 0 || s > mu {
+			t.Fatalf("AuthorsSigma(%d) = %v implausible for mu=%v", yr, s, mu)
+		}
+		for name, f := range map[string]func(int) float64{
+			"DistinctAuthorsRatio": DistinctAuthorsRatio,
+			"NewAuthorsRatio":      NewAuthorsRatio,
+		} {
+			if v := f(yr); v <= 0 || v > 1 {
+				t.Fatalf("%s(%d) = %v outside (0,1]", name, yr, v)
+			}
+		}
+	}
+	// New authors are a subset of distinct authors; early years are
+	// debut-dominated.
+	if NewAuthorsRatio(1936) < 0.5 {
+		t.Error("the 1936 community must be mostly new authors")
+	}
+}
+
+func TestAuthorsWithPublicationsPowerLaw(t *testing.T) {
+	prev := math.Inf(1)
+	for x := 1; x <= 50; x++ {
+		v := AuthorsWithPublications(x, 1980, 1000)
+		if v < 0 || v > prev {
+			t.Fatalf("f_awp not decreasing at x=%d: %v after %v", x, v, prev)
+		}
+		prev = v
+	}
+	if AuthorsWithPublications(0, 1980, 1000) != 0 ||
+		AuthorsWithPublications(1, 1980, 0) != 0 {
+		t.Error("degenerate inputs must yield 0")
+	}
+	// The head (x=1) carries most of the estimated author population.
+	head := AuthorsWithPublications(1, 1980, 1000)
+	tail := AuthorsWithPublications(10, 1980, 1000)
+	if head < 100*tail {
+		t.Errorf("power law too flat: f(1)=%v f(10)=%v", head, tail)
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if ClassArticle.String() != "article" || ClassWWW.String() != "www" {
+		t.Error("class names broken")
+	}
+	if AttrPages.String() != "pages" || AttrCdrom.String() != "cdrom" {
+		t.Error("attr names broken")
+	}
+	if Class(99).String() != "class?" || Attr(-1).String() != "attr?" {
+		t.Error("out-of-range enums must not panic")
+	}
+	if NumAttrs >= 32 {
+		t.Fatal("attribute sets are uint32 bitmasks; NumAttrs must stay below 32")
+	}
+}

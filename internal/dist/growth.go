@@ -1,0 +1,49 @@
+package dist
+
+import "math"
+
+// Logistic is the limited-growth curve of Section III-B,
+//
+//	f(yr) = Limit / (1 + e^(-Rate·(yr-Mid))),
+//
+// fitted per document class against DBLP's yearly instance counts. Far
+// below the inflection year Mid the curve grows exponentially at Rate;
+// approaching Mid it saturates toward Limit, reproducing the flattening
+// the paper observes for the established classes.
+type Logistic struct {
+	Limit float64 // saturation level (instances per year)
+	Rate  float64 // exponential growth rate per year
+	Mid   float64 // inflection year
+}
+
+// At evaluates the curve for a year.
+func (l Logistic) At(yr int) float64 {
+	return l.Limit / (1 + math.Exp(-l.Rate*(float64(yr)-l.Mid)))
+}
+
+// The per-class growth curves. Articles and journals carry the document
+// body from 1936 on; inproceedings (and with them proceedings) take off
+// around 1950 and grow faster, overtaking articles late in the modeled
+// range; books and incollections are late, smaller classes.
+var (
+	Article       = Logistic{Limit: 30_000, Rate: 0.0866, Mid: 2020}
+	Inproceedings = Logistic{Limit: 60_000, Rate: 0.1586, Mid: 2015}
+	Proceedings   = Logistic{Limit: 2_400, Rate: 0.1586, Mid: 2015}
+	Journal       = Logistic{Limit: 1_000, Rate: 0.0866, Mid: 2020}
+	Book          = Logistic{Limit: 600, Rate: 0.2, Mid: 2010}
+	Incollection  = Logistic{Limit: 1_500, Rate: 0.18, Mid: 2005}
+)
+
+// The thesis and web classes are not fitted by curves: DBLP records them
+// only from their start year on, in small numbers with no visible trend,
+// so the generator draws them uniformly from [0, Max] per year.
+const (
+	PhDStart = 1970
+	PhDMax   = 5
+
+	MastersStart = 1975
+	MastersMax   = 3
+
+	WWWStart = 1995
+	WWWMax   = 25
+)

@@ -1,0 +1,93 @@
+package dist
+
+import "math"
+
+// Gaussian is a normal curve N(Mu, Sigma) used for the repeated
+// attributes of Section III-C/D: how many creators a document has, how
+// many editors a proceedings has, how many outgoing citations a citing
+// document has, and how many words an abstract has.
+type Gaussian struct {
+	Mu, Sigma float64
+}
+
+// P evaluates the density at x (normalized so that summing over the
+// integers approximates 1) — the curve plotted against the measured
+// histograms in Figure 2(a).
+func (g Gaussian) P(x float64) float64 {
+	d := (x - g.Mu) / g.Sigma
+	return math.Exp(-d*d/2) / (g.Sigma * math.Sqrt(2*math.Pi))
+}
+
+// Editor is d_editor: editors per editor-carrying document.
+var Editor = Gaussian{Mu: 2.24, Sigma: 1.06}
+
+// Cite is d_cite: outgoing citations per citing document (Section III-D,
+// Figure 2(a)). Only a small fraction of documents cite at all (see
+// AttrCite in Table IX), and only about half of the outgoing citations
+// are targeted, which keeps incoming counts below outgoing ones.
+var Cite = Gaussian{Mu: 16.82, Sigma: 10.07}
+
+// AbstractGaussian is the word-count distribution of abstracts, and
+// AbstractFraction the share of articles and inproceedings carrying one
+// (Section IV: abstracts are rare but large).
+var (
+	AbstractGaussian = Gaussian{Mu: 150, Sigma: 30}
+	AbstractFraction = 0.01
+)
+
+// AuthorsMu is µ_auth: the expected number of creators per authored
+// document, a limited-growth curve rising from ~1.2 in the 1930s toward
+// ~2.8 as collaboration becomes the norm (Section III-C).
+func AuthorsMu(yr int) float64 {
+	return 1 + 1.8/(1+math.Exp(-0.04*(float64(yr)-1990)))
+}
+
+// AuthorsSigma is the standard deviation paired with AuthorsMu; the
+// spread widens as the mean grows.
+func AuthorsSigma(yr int) float64 {
+	return 0.3 + 0.5*(AuthorsMu(yr)-1)
+}
+
+// DistinctAuthorsRatio is f_dauth: the number of distinct persons
+// publishing in a year relative to the year's author slots. It shrinks
+// over time as prolific authors take a growing share of the slots.
+func DistinctAuthorsRatio(yr int) float64 {
+	return 0.45 + 0.3*math.Exp(-0.02*float64(yr-1936))
+}
+
+// NewAuthorsRatio is f_new: the fraction of a year's distinct authors
+// publishing for the first time. Early years are dominated by debuts;
+// the ratio settles as the community matures.
+func NewAuthorsRatio(yr int) float64 {
+	return 0.2 + 0.55*math.Exp(-0.015*float64(yr-1936))
+}
+
+// zeta246 approximates ζ(2.46), the normalizer of the Lotka power law
+// below (∑ x^-2.46 over x ≥ 1).
+const zeta246 = 1.35746
+
+// AuthorsWithPublications is f_awp, the power-law estimate behind
+// Figure 2(c): the expected number of authors with exactly x
+// publications in year yr, given the year's total publication count.
+// Publication counts follow Lotka's law — the number of authors with x
+// publications falls off as x^-α with α ≈ 2.46 — scaled so the estimated
+// author population matches the year's distinct-author count.
+func AuthorsWithPublications(x int, yr int, publications float64) float64 {
+	if x < 1 || publications <= 0 {
+		return 0
+	}
+	authors := publications * AuthorsMu(yr) * DistinctAuthorsRatio(yr)
+	return authors / zeta246 / math.Pow(float64(x), 2.46)
+}
+
+// Paul Erdős (Section IV): a fixed, known entity in every document. He
+// publishes ErdosPublications documents and edits ErdosEditorials
+// proceedings in every simulated year of [ErdosFirstYear,
+// ErdosLastYear], which is why queries anchored at him (Q8, Q10)
+// stabilize once the document grows past his active years.
+const (
+	ErdosFirstYear    = 1940
+	ErdosLastYear     = 1996
+	ErdosPublications = 10
+	ErdosEditorials   = 2
+)

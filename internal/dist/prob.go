@@ -1,0 +1,42 @@
+package dist
+
+// prob is the reconstruction of Table IX: for every document class, the
+// probability that an instance carries each attribute. Rows follow the
+// Attr order; columns follow the Class order (article, inproceedings,
+// proceedings, book, incollection, phdthesis, mastersthesis, www). The
+// structurally impossible combinations the queries rely on are exact
+// zeros — articles never carry swrc:isbn (Q3c), only articles reference
+// a journal, only proceedings and books attract editors in volume.
+var prob = [NumAttrs][NumClasses]float64{
+	AttrTitle:     {1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000},
+	AttrAuthor:    {0.9895, 0.9970, 0.0001, 0.8937, 0.8459, 1.0000, 1.0000, 0.9973},
+	AttrEditor:    {0.0000, 0.0000, 0.7992, 0.1040, 0.0000, 0.0000, 0.0000, 0.0004},
+	AttrYear:      {1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000, 1.0000},
+	AttrJournal:   {0.9994, 0.0000, 0.0000, 0.0000, 0.0000, 0.0000, 0.0000, 0.0000},
+	AttrCrossref:  {0.0000, 0.9831, 0.0000, 0.0000, 0.8308, 0.0000, 0.0000, 0.0000},
+	AttrBooktitle: {0.0000, 1.0000, 0.6493, 0.0000, 0.8459, 0.0000, 0.0000, 0.0000},
+	AttrPages:     {0.9261, 0.9489, 0.0000, 0.0017, 0.6849, 0.0000, 0.0000, 0.0000},
+	AttrURL:       {0.9986, 0.9998, 0.9999, 0.9918, 0.9983, 0.9750, 0.9722, 0.9996},
+	AttrEE:        {0.6951, 0.6591, 0.0001, 0.0079, 0.4190, 0.0000, 0.0000, 0.0003},
+	AttrCite:      {0.0048, 0.0104, 0.0001, 0.0079, 0.0047, 0.0000, 0.0000, 0.0000},
+	AttrVolume:    {0.9604, 0.0000, 0.5289, 0.4619, 0.4190, 0.0000, 0.0000, 0.0000},
+	AttrNumber:    {0.6619, 0.0000, 0.0001, 0.0175, 0.0103, 0.0000, 0.0000, 0.0000},
+	AttrMonth:     {0.0065, 0.0000, 0.0001, 0.0008, 0.0000, 0.0000, 0.0000, 0.0000},
+	AttrChapter:   {0.0000, 0.0000, 0.0000, 0.0046, 0.0226, 0.0000, 0.0000, 0.0000},
+	AttrSeries:    {0.0000, 0.0000, 0.5790, 0.3754, 0.0000, 0.0000, 0.0000, 0.0000},
+	AttrISBN:      {0.0000, 0.0000, 0.8592, 0.9294, 0.8592, 0.0000, 0.0000, 0.0000},
+	AttrPublisher: {0.0000, 0.0000, 0.9737, 0.9895, 0.0092, 0.0000, 0.0000, 0.0001},
+	AttrSchool:    {0.0000, 0.0000, 0.0000, 0.0000, 0.0000, 1.0000, 1.0000, 0.0000},
+	AttrAddress:   {0.0000, 0.0000, 0.0515, 0.0220, 0.0058, 0.0000, 0.0000, 0.0000},
+	AttrNote:      {0.0187, 0.0032, 0.0085, 0.0303, 0.0156, 0.0112, 0.0074, 0.0409},
+	AttrCdrom:     {0.0167, 0.0299, 0.0027, 0.0041, 0.0073, 0.0000, 0.0000, 0.0000},
+}
+
+// Prob returns the Table IX probability that a document of class c
+// carries attribute a.
+func Prob(a Attr, c Class) float64 {
+	if a < 0 || a >= NumAttrs || c < 0 || c >= NumClasses {
+		return 0
+	}
+	return prob[a][c]
+}

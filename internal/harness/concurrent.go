@@ -1,0 +1,232 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"sp2bench/internal/engine"
+	"sp2bench/internal/queries"
+	"sp2bench/internal/store"
+)
+
+// MixStats summarizes one concurrent (engine, scale) drive: how long the
+// whole mix took wall-clock, how many query executions the clients
+// issued, the resulting throughput, and the latency distribution across
+// all executions. CPU and memory are reported here for the drive as a
+// whole — they are process-level quantities that cannot be attributed to
+// a single client (see runCtx).
+type MixStats struct {
+	Engine  string
+	Scale   string
+	Clients int
+	// Wall is the elapsed time from the first client starting to the
+	// last client finishing its share of the mix.
+	Wall time.Duration
+	// Executions counts individual query executions across all clients
+	// (clients × queries × Config.Runs when nothing fails early);
+	// Failures the non-Success subset.
+	Executions int
+	Failures   int
+	// QPS is successful executions divided by Wall, and P50/P95 are
+	// latency percentiles over the successful executions — failed runs
+	// (timeouts, post-cancellation returns after a memory trip) would
+	// otherwise pollute the throughput and latency picture. All zero
+	// when nothing succeeded.
+	QPS      float64
+	P50, P95 time.Duration
+	// User and Sys are the process CPU consumed by the whole drive, and
+	// MemPeak the process heap high watermark during it.
+	User, Sys time.Duration
+	MemPeak   uint64
+}
+
+// runConcurrent drives the query set with cfg.Clients workers sharing
+// one frozen store. Every client executes the full query mix cfg.Runs
+// times (each worker owns its engine instance, all engines read the same
+// store); clients start the rotation at different offsets so that at any
+// moment different queries are in flight — a mixed workload rather than
+// a synchronized scan. Every execution is recorded individually in
+// rep.PerClient, one merged cell per query lands in rep.Runs, and the
+// drive summary in rep.Mixes.
+//
+// A single memory watcher guards the whole mix: the heap limit is a
+// process-level resource, so when it trips, the drive is cancelled and
+// every query still in flight is classified MemoryExhausted — the
+// endpoint went down for all clients, which is exactly what exceeding
+// the budget means under concurrent load.
+func (r *Runner) runConcurrent(rep *Report, st *store.Store, es EngineSpec, sc Scale, qs []queries.Query, parseTime time.Duration) {
+	nClients := r.cfg.Clients
+	mixCtx, mixCancel := context.WithCancel(context.Background())
+	defer mixCancel()
+	memHit, memPeak := watchMemory(mixCtx, mixCancel, r.cfg.MemLimitBytes)
+	rc := runCtx{parent: mixCtx, memHit: memHit, memPeak: memPeak}
+
+	perClient := make([][]QueryRun, nClients)
+	startU, startS := cpuTimes()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < nClients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			eng := engine.New(st, es.Opts)
+			runs := make([]QueryRun, 0, len(qs)*r.cfg.Runs)
+			for rn := 0; rn < r.cfg.Runs; rn++ {
+				for i := range qs {
+					// A cancelled mix (memory limit tripped) stops the
+					// client: recording the never-started remainder as
+					// failures would inflate the execution counts.
+					if mixCtx.Err() != nil {
+						perClient[client] = runs
+						return
+					}
+					q := qs[(i+client)%len(qs)]
+					run := r.runOnce(rc, eng, q)
+					run.Query, run.Engine, run.Scale = q.ID, es.Name, sc.Name
+					run.Client = client
+					runs = append(runs, run)
+				}
+			}
+			perClient[client] = runs
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	endU, endS := cpuTimes()
+
+	mix := MixStats{
+		Engine: es.Name, Scale: sc.Name, Clients: nClients, Wall: wall,
+		User: endU - startU, Sys: endS - startS, MemPeak: memPeak.Load(),
+	}
+	var latencies []time.Duration
+	byQuery := map[string][]QueryRun{}
+	for _, runs := range perClient {
+		for _, run := range runs {
+			rep.PerClient = append(rep.PerClient, run)
+			byQuery[run.Query] = append(byQuery[run.Query], run)
+			mix.Executions++
+			if run.Outcome != Success {
+				mix.Failures++
+				continue
+			}
+			latencies = append(latencies, run.Wall)
+		}
+	}
+	if wall > 0 {
+		mix.QPS = float64(len(latencies)) / wall.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	mix.P50 = percentile(latencies, 0.50)
+	mix.P95 = percentile(latencies, 0.95)
+	rep.Mixes = append(rep.Mixes, mix)
+
+	// One merged cell per query keeps the sequential report contract:
+	// the renderers, shape checks and global means see exactly one run
+	// per (engine, scale, query). The ChargeLoadToMem surcharge lands on
+	// the merged cell only — PerClient and MixStats keep the raw
+	// measured latencies, whose wall clock the QPS denominator matches.
+	for _, q := range qs {
+		runs := byQuery[q.ID]
+		if len(runs) == 0 {
+			// The mix was cancelled before any client reached this
+			// query — the endpoint went down, same as the in-flight
+			// MemoryExhausted classification.
+			rep.Runs = append(rep.Runs, QueryRun{
+				Query: q.ID, Engine: es.Name, Scale: sc.Name,
+				Outcome: MemoryExhausted, Client: -1,
+				Err: "mix aborted before this query ran",
+			})
+			continue
+		}
+		merged := mergeClientRuns(runs)
+		if r.cfg.ChargeLoadToMem && !es.Opts.UseIndexes {
+			merged.Wall += parseTime
+		}
+		rep.Runs = append(rep.Runs, merged)
+		r.progressf("%-7s %-16s %-5s %-8s %12v results=%d clients=%d\n",
+			sc.Name, es.Name, q.ID, merged.Outcome, merged.Wall.Round(time.Microsecond),
+			merged.Results, nClients)
+	}
+}
+
+// mergeClientRuns collapses the per-execution measurements of one query
+// into a single cell: mean latency over successful runs, result count
+// (which must agree across clients — the store is frozen), and the
+// first failure outcome observed if any client failed. CPU and memory
+// stay zero on the cell: concurrent executions never carry them (see
+// runCtx), the drive-level figures live on MixStats.
+func mergeClientRuns(runs []QueryRun) QueryRun {
+	merged := runs[0]
+	merged.Client = -1
+	var okWall time.Duration
+	okN := 0
+	results := -1
+	disagree := ""
+	for _, run := range runs {
+		if run.Outcome != Success {
+			if merged.Outcome == Success {
+				merged.Outcome, merged.Err, merged.Wall = run.Outcome, run.Err, run.Wall
+				merged.Results = 0 // failure cells carry no result count
+			}
+			continue
+		}
+		okWall += run.Wall
+		okN++
+		if results == -1 {
+			results = run.Results
+		} else if results != run.Results {
+			disagree = fmt.Sprintf("clients disagree on result count: %d vs %d", results, run.Results)
+		}
+	}
+	if merged.Outcome != Success {
+		return merged // a real failure outranks a disagreement flag
+	}
+	merged.Wall = okWall / time.Duration(okN)
+	if disagree != "" {
+		merged.Outcome, merged.Err, merged.Results = ExecError, disagree, 0
+		return merged
+	}
+	merged.Results = results
+	return merged
+}
+
+// percentile reads the p-quantile from an ascending slice using the
+// nearest-rank convention (index ceil(p·n)−1): the median stays a
+// median for tiny samples while tail quantiles still land on the
+// outliers they exist to expose.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// RenderConcurrency writes the throughput/latency summary of the
+// concurrent drives, one row per (scale, engine).
+func (rep *Report) RenderConcurrency(w io.Writer) {
+	if len(rep.Mixes) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Concurrent mix: throughput and latency per (scale, engine)")
+	fmt.Fprintf(w, "%-7s %-16s %8s %10s %8s %6s %12s %12s %9s %10s\n",
+		"scale", "engine", "clients", "wall", "queries", "fail", "p50", "p95", "q/s", "cpu")
+	for _, m := range rep.Mixes {
+		fmt.Fprintf(w, "%-7s %-16s %8d %10v %8d %6d %12v %12v %9.1f %10v\n",
+			m.Scale, m.Engine, m.Clients, m.Wall.Round(time.Millisecond),
+			m.Executions, m.Failures,
+			m.P50.Round(time.Microsecond), m.P95.Round(time.Microsecond), m.QPS,
+			(m.User + m.Sys).Round(time.Millisecond))
+	}
+}

@@ -164,7 +164,11 @@ type QueryRun struct {
 	Results int
 	// MemPeak is the observed heap high watermark during the run.
 	MemPeak uint64
-	Err     string
+	// Client identifies the issuing worker in concurrent mode (see
+	// Config.Clients); -1 marks a cell merged across clients, 0 a
+	// sequential-protocol run.
+	Client int
+	Err    string
 }
 
 // LoadStats records document loading (Section VI metric 2).
@@ -194,6 +198,11 @@ type Config struct {
 	// ChargeLoadToMem adds document parse time to every in-memory-engine
 	// query, mirroring engines that load the file per query.
 	ChargeLoadToMem bool
+	// Clients is the number of concurrent workers driving the query mix
+	// against one shared frozen store per (engine, scale) — real SPARQL
+	// endpoints serve mixed parallel workloads, not one query at a time.
+	// Values <= 1 run the paper's sequential protocol.
+	Clients int
 	// Seed feeds the generator.
 	Seed uint64
 	// WorkDir caches generated documents between runs ("" = temp dir).
@@ -224,6 +233,11 @@ type Report struct {
 	GenTime  map[string]time.Duration
 	Loading  []LoadStats
 	Runs     []QueryRun
+	// PerClient holds every individual (client, query) measurement taken
+	// in concurrent mode; Runs then holds one merged cell per query.
+	PerClient []QueryRun
+	// Mixes summarizes each concurrent (engine, scale) drive.
+	Mixes []MixStats
 }
 
 // Runner executes the benchmark protocol.
@@ -242,6 +256,9 @@ func NewRunner(cfg Config) (*Runner, error) {
 	}
 	if cfg.Timeout <= 0 {
 		return nil, fmt.Errorf("harness: timeout must be positive")
+	}
+	if cfg.Clients < 0 {
+		return nil, fmt.Errorf("harness: clients must be non-negative")
 	}
 	if cfg.Runs <= 0 {
 		cfg.Runs = 1
@@ -319,6 +336,10 @@ func (r *Runner) Run() (*Report, error) {
 			rep.Loading = append(rep.Loading, LoadStats{
 				Scale: sc.Name, Engine: es.Name, Wall: loadWall, Triples: st.Len(),
 			})
+			if r.cfg.Clients > 1 {
+				r.runConcurrent(rep, st, es, sc, qs, parseTime)
+				continue
+			}
 			eng := engine.New(st, es.Opts)
 			for _, q := range qs {
 				run := r.runCell(eng, es, sc, q, parseTime)
@@ -375,6 +396,20 @@ func (r *Runner) load(sc Scale) (*store.Store, time.Duration, time.Duration, err
 	return st, parse, freeze, nil
 }
 
+// runCtx bundles the cancellation and instrumentation shared by the
+// runs of one protocol drive. Sequential runs leave memHit nil and get
+// fresh per-run instrumentation (their own memory watcher and CPU
+// deltas); a concurrent mix shares one watcher across all clients and
+// skips per-run CPU capture, because process-wide rusage and heap
+// readings cannot be attributed to a single client.
+type runCtx struct {
+	parent  context.Context
+	memHit  *atomic.Bool
+	memPeak *atomic.Uint64
+}
+
+func sequentialCtx() runCtx { return runCtx{parent: context.Background()} }
+
 // runCell measures one (engine, scale, query) cell over cfg.Runs runs and
 // keeps the average of the successful protocol (the paper averages three
 // runs).
@@ -383,7 +418,7 @@ func (r *Runner) runCell(eng *engine.Engine, es EngineSpec, sc Scale, q queries.
 	agg.Query, agg.Engine, agg.Scale = q.ID, es.Name, sc.Name
 	var totalWall, totalUser, totalSys time.Duration
 	for i := 0; i < r.cfg.Runs; i++ {
-		one := r.runOnce(eng, q)
+		one := r.runOnce(sequentialCtx(), eng, q)
 		if one.Outcome != Success {
 			one.Query, one.Engine, one.Scale = q.ID, es.Name, sc.Name
 			if r.cfg.ChargeLoadToMem && !es.Opts.UseIndexes {
@@ -409,7 +444,7 @@ func (r *Runner) runCell(eng *engine.Engine, es EngineSpec, sc Scale, q queries.
 	return agg
 }
 
-func (r *Runner) runOnce(eng *engine.Engine, q queries.Query) QueryRun {
+func (r *Runner) runOnce(rc runCtx, eng *engine.Engine, q queries.Query) QueryRun {
 	var run QueryRun
 	pq, err := sparql.Parse(q.Text, queries.Prologue)
 	if err != nil {
@@ -417,18 +452,30 @@ func (r *Runner) runOnce(eng *engine.Engine, q queries.Query) QueryRun {
 		run.Err = err.Error()
 		return run
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(rc.parent, r.cfg.Timeout)
 	defer cancel()
 
-	memHit, memPeak := watchMemory(ctx, cancel, r.cfg.MemLimitBytes)
+	memHit, memPeak := rc.memHit, rc.memPeak
+	perRun := memHit == nil
+	if perRun {
+		memHit, memPeak = watchMemory(ctx, cancel, r.cfg.MemLimitBytes)
+	}
 
-	startU, startS := cpuTimes()
+	var startU, startS time.Duration
+	if perRun {
+		startU, startS = cpuTimes()
+	}
 	start := time.Now()
 	n, err := eng.Count(ctx, pq)
 	run.Wall = time.Since(start)
-	endU, endS := cpuTimes()
-	run.User, run.Sys = endU-startU, endS-startS
-	run.MemPeak = memPeak.Load()
+	if perRun {
+		endU, endS := cpuTimes()
+		run.User, run.Sys = endU-startU, endS-startS
+		// Like CPU, the heap reading is process-wide: it is a per-run
+		// measurement only when this run is the only one in flight.
+		// Concurrent drives report memory on MixStats instead.
+		run.MemPeak = memPeak.Load()
+	}
 
 	switch {
 	case err == nil:
@@ -453,6 +500,17 @@ func (r *Runner) runOnce(eng *engine.Engine, q queries.Query) QueryRun {
 func watchMemory(ctx context.Context, cancel context.CancelFunc, limit uint64) (*atomic.Bool, *atomic.Uint64) {
 	hit := &atomic.Bool{}
 	peak := &atomic.Uint64{}
+	// The first sample is synchronous so that even runs shorter than a
+	// tick report a peak, and a tiny limit trips before the run starts
+	// rather than racing it.
+	var ms0 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	peak.Store(ms0.HeapAlloc)
+	if limit > 0 && ms0.HeapAlloc > limit {
+		hit.Store(true)
+		cancel()
+		return hit, peak
+	}
 	go func() {
 		var ms runtime.MemStats
 		tick := time.NewTicker(10 * time.Millisecond)

@@ -146,9 +146,16 @@ func (rep *Report) RenderMeans(w io.Writer, engines ...string) {
 		if len(engines) > 0 && !keep[m.Engine] {
 			continue
 		}
-		fmt.Fprintf(w, "%-18s %-7s %12.3f %12.4f %12.1f %6d/%2d\n",
-			m.Engine, m.Scale, m.Arithmetic, m.Geometric, m.MemMeanBytes/1e6,
+		mem := fmt.Sprintf("%12.1f", m.MemMeanBytes/1e6)
+		if len(rep.Mixes) > 0 {
+			mem = fmt.Sprintf("%12s", "n/a")
+		}
+		fmt.Fprintf(w, "%-18s %-7s %12.3f %12.4f %s %6d/%2d\n",
+			m.Engine, m.Scale, m.Arithmetic, m.Geometric, mem,
 			m.Failures, m.Queries)
+	}
+	if len(rep.Mixes) > 0 {
+		fmt.Fprintln(w, "(concurrent mode: memory is a process-level quantity; see the concurrent mix table)")
 	}
 }
 
@@ -187,6 +194,13 @@ func (rep *Report) RenderPerQuery(w io.Writer) {
 				}
 				if run.Outcome != Success {
 					fmt.Fprintf(w, " | %-28s", run.Outcome.String())
+					continue
+				}
+				if run.Client == -1 {
+					// Cells merged across clients carry no per-query
+					// CPU (see runCtx); drive-level CPU lives on
+					// MixStats.
+					fmt.Fprintf(w, " | %8.4f %8s %8s ", run.Wall.Seconds(), "n/a", "n/a")
 					continue
 				}
 				fmt.Fprintf(w, " | %8.4f %8.4f %8.4f ",
@@ -235,6 +249,10 @@ func (rep *Report) RenderAll(w io.Writer) {
 	rep.RenderLoading(w)
 	fmt.Fprintln(w)
 	rep.RenderPerQuery(w)
+	if len(rep.Mixes) > 0 {
+		fmt.Fprintln(w)
+		rep.RenderConcurrency(w)
+	}
 }
 
 // ExpectedShapes documents the paper's structural expectations used by
