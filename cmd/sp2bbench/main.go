@@ -10,18 +10,27 @@
 //	sp2bbench -experiment ablation           # optimizer ablations
 //	sp2bbench -clients 8 -scales 10k         # concurrent query mix
 //	sp2bbench -experiment fig2b -gen 1000000 # generator distributions
+//	sp2bbench -endpoint http://host:8080/sparql -clients 4
+//	                                         # benchmark a remote SPARQL endpoint
 //
 // Experiments: all, table3, table4, table5, table6, table7, table8,
 // table9, fig2a, fig2b, fig2c, figures, loading, ablation, shapes.
+//
+// With -endpoint the harness drives any SPARQL 1.1 Protocol endpoint
+// (sp2bserve or a third-party store) instead of the in-process engines;
+// the endpoint serves its own data, so -scales is ignored and the
+// per-query table plus the concurrency summary are reported.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"sp2bench/internal/harness"
+	"sp2bench/internal/queries"
 )
 
 func main() {
@@ -31,6 +40,8 @@ func main() {
 		timeout    = flag.Duration("timeout", 15*time.Second, "per-query timeout (paper: 30m)")
 		runs       = flag.Int("runs", 1, "measured runs per cell (paper: 3)")
 		clients    = flag.Int("clients", 1, "concurrent clients driving the query mix (1 = sequential protocol)")
+		endpoint   = flag.String("endpoint", "", "benchmark a remote SPARQL endpoint at this URL instead of the in-process engines")
+		queryIDs   = flag.String("queries", "", "comma-separated benchmark query ids to run (default: all 17)")
 		seed       = flag.Uint64("seed", 1, "generator seed")
 		memLimit   = flag.Uint64("memlimit", 0, "heap limit in bytes (0 = off)")
 		workdir    = flag.String("workdir", "", "directory caching generated documents")
@@ -49,6 +60,22 @@ func main() {
 	cfg.WorkDir = *workdir
 	if !*quiet {
 		cfg.Progress = os.Stderr
+	}
+	if *queryIDs != "" {
+		for _, id := range strings.Split(*queryIDs, ",") {
+			id = strings.TrimSpace(strings.ToLower(id))
+			if id == "" {
+				continue
+			}
+			if _, ok := queries.ByID(id); !ok {
+				fatal(fmt.Errorf("unknown benchmark query %q (want q1..q12c)", id))
+			}
+			cfg.QueryIDs = append(cfg.QueryIDs, id)
+		}
+	}
+	if *endpoint != "" {
+		runEndpoint(cfg, *endpoint)
+		return
 	}
 	var err error
 	cfg.Scales, err = harness.ParseScales(*scales)
@@ -136,6 +163,29 @@ func main() {
 	// experiment gets it appended so the drive-level CPU/memory figures
 	// are always reachable in concurrent mode.
 	if *experiment != "all" && len(rep.Mixes) > 0 {
+		fmt.Println()
+		rep.RenderConcurrency(os.Stdout)
+	}
+}
+
+// runEndpoint drives a remote SPARQL endpoint: the tables that need
+// local generator or loading data do not apply, so the per-query
+// results and (in concurrent mode) the throughput/latency summary are
+// rendered.
+func runEndpoint(cfg harness.Config, url string) {
+	cfg.Endpoint = url
+	cfg.Scales, cfg.Engines = nil, nil
+	runner, err := harness.NewRunner(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := runner.Run()
+	if err != nil {
+		fatal(err)
+	}
+	rep.SortRuns()
+	rep.RenderPerQuery(os.Stdout)
+	if len(rep.Mixes) > 0 {
 		fmt.Println()
 		rep.RenderConcurrency(os.Stdout)
 	}

@@ -7,6 +7,11 @@
 //	sp2bquery -d doc.nt -q my.sparql            # run a query from a file
 //	sp2bquery -d doc.nt -id q4 -engine mem      # use the in-memory engine
 //	sp2bquery -d doc.nt -id q2 -count           # print only the count
+//	sp2bquery -d doc.nt -id q1 -format json     # SPARQL JSON results
+//
+// SELECT/ASK results are emitted in any of the standard result formats
+// (-format json|xml|csv|tsv) or as a human-readable table (the
+// default); CONSTRUCT/DESCRIBE graphs are emitted as N-Triples.
 package main
 
 import (
@@ -18,8 +23,8 @@ import (
 	"time"
 
 	"sp2bench/internal/core"
-	"sp2bench/internal/engine"
 	"sp2bench/internal/queries"
+	"sp2bench/internal/results"
 	"sp2bench/internal/sparql"
 )
 
@@ -32,7 +37,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Minute, "query timeout")
 		countOnly = flag.Bool("count", false, "print only the result count")
 		explain   = flag.Bool("explain", false, "print the physical plan")
-		maxRows   = flag.Int("max", 100, "maximum rows to print (0 = all)")
+		format    = flag.String("format", "table", "result format: json, xml, csv, tsv or table")
+		maxRows   = flag.Int("max", 100, "maximum rows/triples to print in table format (0 = all)")
 	)
 	flag.Parse()
 
@@ -42,7 +48,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	var opts engine.Options
+	outFormat, err := results.ParseFormat(*format)
+	if err != nil {
+		fatal(err)
+	}
+
+	var opts core.Options
 	switch *engName {
 	case "native":
 		opts = core.Native()
@@ -97,18 +108,32 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
-	if graph != nil {
-		for i, tr := range graph {
-			if *maxRows > 0 && i >= *maxRows {
-				fmt.Printf("... (%d more triples)\n", len(graph)-*maxRows)
-				break
+	if parsed.Form == sparql.FormConstruct || parsed.Form == sparql.FormDescribe {
+		if outFormat == results.Table && *maxRows > 0 && len(graph) > *maxRows {
+			if err := results.WriteGraph(os.Stdout, graph[:*maxRows]); err != nil {
+				fatal(err)
 			}
-			fmt.Println(tr.String())
+			fmt.Printf("... (%d more triples)\n", len(graph)-*maxRows)
+		} else if err := results.WriteGraph(os.Stdout, graph); err != nil {
+			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "%d triples in %v\n", len(graph), elapsed.Round(time.Microsecond))
 		return
 	}
-	printResult(res, *maxRows)
+	out := results.FromEngine(res)
+	// The interchange formats are emitted whole — a truncated JSON or
+	// CSV document would be worse than a big one. Only the human-facing
+	// table honours -max.
+	if outFormat == results.Table && *maxRows > 0 && len(out.Rows) > *maxRows {
+		trunc := *out
+		trunc.Rows = out.Rows[:*maxRows]
+		if err := trunc.Write(os.Stdout, outFormat); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("... (%d more rows)\n", len(out.Rows)-*maxRows)
+	} else if err := out.Write(os.Stdout, outFormat); err != nil {
+		fatal(err)
+	}
 	fmt.Fprintf(os.Stderr, "%d results in %v\n", res.Len(), elapsed.Round(time.Microsecond))
 }
 
@@ -125,33 +150,6 @@ func queryText(file, id string) (string, error) {
 		return "", fmt.Errorf("unknown benchmark query %q (want q1..q12c)", id)
 	}
 	return q.Text, nil
-}
-
-func printResult(res *engine.Result, maxRows int) {
-	if res.Form.String() == "ASK" {
-		if res.Ask {
-			fmt.Println("yes")
-		} else {
-			fmt.Println("no")
-		}
-		return
-	}
-	fmt.Println(strings.Join(res.Vars, "\t"))
-	for i, row := range res.Rows {
-		if maxRows > 0 && i >= maxRows {
-			fmt.Printf("... (%d more rows)\n", len(res.Rows)-maxRows)
-			return
-		}
-		cells := make([]string, len(row))
-		for j, t := range row {
-			if t.IsZero() {
-				cells[j] = "(unbound)"
-			} else {
-				cells[j] = t.String()
-			}
-		}
-		fmt.Println(strings.Join(cells, "\t"))
-	}
 }
 
 func fatal(err error) {

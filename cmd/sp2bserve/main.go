@@ -1,0 +1,154 @@
+// Command sp2bserve serves an SP2Bench document as a SPARQL 1.1
+// Protocol endpoint, turning the benchmark's in-process engines into a
+// networked triple store that any protocol-speaking client — curl,
+// sp2bbench -endpoint, or a third-party driver — can query.
+//
+// Usage:
+//
+//	sp2bserve -d doc.nt                          # serve doc.nt on :8080
+//	sp2bserve -gen 50000                         # generate 50k triples in memory and serve them
+//	sp2bserve -d doc.nt -addr :9090 -engine mem  # in-memory engine family
+//	sp2bserve -d doc.nt -timeout 30s -max-concurrent 16
+//
+// The query operation is served on / and /sparql (GET ?query=, POST
+// form, POST application/sparql-query); /healthz answers liveness
+// probes. SIGINT/SIGTERM drain in-flight queries before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"sp2bench/internal/core"
+	"sp2bench/internal/engine"
+	"sp2bench/internal/gen"
+	"sp2bench/internal/server"
+	"sp2bench/internal/store"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		data    = flag.String("d", "", "N-Triples document to serve")
+		genSize = flag.Int64("gen", 0, "generate a document of this many triples instead of loading one")
+		engName = flag.String("engine", "native", "engine: native or mem")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-query evaluation limit (0 = none)")
+		maxConc = flag.Int("max-concurrent", 2*runtime.GOMAXPROCS(0), "max in-flight queries (0 = unlimited)")
+		seed    = flag.Uint64("seed", 1, "generator seed (with -gen)")
+		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
+	)
+	flag.Parse()
+
+	if (*data == "") == (*genSize == 0) {
+		fmt.Fprintln(os.Stderr, "sp2bserve: need exactly one of -d <doc.nt> or -gen <triples>")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var opts engine.Options
+	switch *engName {
+	case "native":
+		opts = core.Native()
+	case "mem":
+		opts = core.Mem()
+	default:
+		fatal(fmt.Errorf("unknown engine %q (want native or mem)", *engName))
+	}
+
+	st, err := loadStore(*data, *genSize, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	eng := engine.New(st, opts)
+
+	cfg := server.Config{Engine: eng, Timeout: *timeout, MaxConcurrent: *maxConc}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	h, err := server.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.Handle("/sparql", h)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	srv := &http.Server{Addr: *addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sp2bserve: %d triples, %s engine, listening on %s\n", st.Len(), *engName, *addr)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "sp2bserve: draining in-flight queries")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+}
+
+// loadStore builds the store from a document file or, with -gen, from
+// an in-memory generator run (handy for smoke tests and demos: no file
+// ever touches disk).
+func loadStore(path string, genSize int64, seed uint64) (*store.Store, error) {
+	st := store.New()
+	start := time.Now()
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if _, err := st.Load(f); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "sp2bserve: loaded %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+		return st, nil
+	}
+	p := gen.DefaultParams(genSize)
+	p.Seed = seed
+	pr, pw := io.Pipe()
+	done := make(chan error, 1)
+	go func() {
+		g, err := gen.New(p, pw)
+		if err == nil {
+			_, err = g.Generate()
+		}
+		pw.CloseWithError(err)
+		done <- err
+	}()
+	if _, err := st.Load(pr); err != nil {
+		return nil, err
+	}
+	if err := <-done; err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "sp2bserve: generated %d triples in %v\n", st.Len(), time.Since(start).Round(time.Millisecond))
+	return st, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sp2bserve:", err)
+	os.Exit(1)
+}

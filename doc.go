@@ -6,8 +6,17 @@
 // and algebra, and two query engine configurations standing in for the
 // paper's in-memory and native engine families.
 //
+// Beyond the in-process reproduction, the repo speaks the SPARQL 1.1
+// Protocol in both directions, restoring the benchmark's cross-engine
+// posture: internal/server exposes an engine as an HTTP endpoint with
+// content negotiation over the standard result formats, internal/client
+// drives any such endpoint, internal/results implements the SPARQL
+// JSON/XML/CSV/TSV result formats the two share, and the harness's
+// Executor abstraction lets the measurement pipeline benchmark a remote
+// endpoint exactly as it benchmarks the built-in engines.
+//
 // The implementation lives under internal/; cmd/ holds the sp2bgen,
-// sp2bquery and sp2bbench executables; examples/ holds runnable
-// walk-throughs; bench_test.go regenerates every table and figure of the
-// paper's evaluation section as Go benchmarks.
+// sp2bquery, sp2bbench and sp2bserve executables; examples/ holds
+// runnable walk-throughs; bench_test.go regenerates every table and
+// figure of the paper's evaluation section as Go benchmarks.
 package sp2bench

@@ -56,6 +56,11 @@ func GenerateFile(path string, p gen.Params) (*gen.Stats, error) {
 	return stats, err
 }
 
+// Options is the engine configuration type, re-exported so facade
+// users need not import internal/engine for the common open-and-query
+// path.
+type Options = engine.Options
+
 // Mem returns the in-memory engine configuration (scan-based matching,
 // no optimizations) — the stand-in for the paper's ARQ/Sesame-memory
 // family.

@@ -9,9 +9,7 @@ import (
 	"sync"
 	"time"
 
-	"sp2bench/internal/engine"
 	"sp2bench/internal/queries"
-	"sp2bench/internal/store"
 )
 
 // MixStats summarizes one concurrent (engine, scale) drive: how long the
@@ -45,36 +43,42 @@ type MixStats struct {
 	MemPeak   uint64
 }
 
-// runConcurrent drives the query set with cfg.Clients workers sharing
-// one frozen store. Every client executes the full query mix cfg.Runs
-// times (each worker owns its engine instance, all engines read the same
-// store); clients start the rotation at different offsets so that at any
-// moment different queries are in flight — a mixed workload rather than
-// a synchronized scan. Every execution is recorded individually in
-// rep.PerClient, one merged cell per query lands in rep.Runs, and the
-// drive summary in rep.Mixes.
+// runConcurrent drives the query set with cfg.Clients workers against
+// one shared backend. Every client executes the full query mix cfg.Runs
+// times (each worker owns its executor — engine instance or endpoint
+// connection — built by the factory); clients start the rotation at
+// different offsets so that at any moment different queries are in
+// flight — a mixed workload rather than a synchronized scan. Every
+// execution is recorded individually in rep.PerClient, one merged cell
+// per query lands in rep.Runs, and the drive summary in rep.Mixes.
 //
 // A single memory watcher guards the whole mix: the heap limit is a
 // process-level resource, so when it trips, the drive is cancelled and
 // every query still in flight is classified MemoryExhausted — the
 // endpoint went down for all clients, which is exactly what exceeding
-// the budget means under concurrent load.
-func (r *Runner) runConcurrent(rep *Report, st *store.Store, es EngineSpec, sc Scale, qs []queries.Query, parseTime time.Duration) {
+// the budget means under concurrent load. (For a remote backend the
+// watcher guards the driving process, whose heap is all this process
+// can observe.)
+func (r *Runner) runConcurrent(rep *Report, factory executorFactory, sc Scale, qs []queries.Query, parseTime time.Duration, chargeLoad bool) {
 	nClients := r.cfg.Clients
 	mixCtx, mixCancel := context.WithCancel(context.Background())
 	defer mixCancel()
 	memHit, memPeak := watchMemory(mixCtx, mixCancel, r.cfg.MemLimitBytes)
 	rc := runCtx{parent: mixCtx, memHit: memHit, memPeak: memPeak}
 
+	name := ""
 	perClient := make([][]QueryRun, nClients)
 	startU, startS := cpuTimes()
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < nClients; c++ {
+		ex := factory()
+		if name == "" {
+			name = ex.Name()
+		}
 		wg.Add(1)
-		go func(client int) {
+		go func(client int, ex Executor) {
 			defer wg.Done()
-			eng := engine.New(st, es.Opts)
 			runs := make([]QueryRun, 0, len(qs)*r.cfg.Runs)
 			for rn := 0; rn < r.cfg.Runs; rn++ {
 				for i := range qs {
@@ -86,21 +90,21 @@ func (r *Runner) runConcurrent(rep *Report, st *store.Store, es EngineSpec, sc S
 						return
 					}
 					q := qs[(i+client)%len(qs)]
-					run := r.runOnce(rc, eng, q)
-					run.Query, run.Engine, run.Scale = q.ID, es.Name, sc.Name
+					run := r.runOnce(rc, ex, q)
+					run.Query, run.Engine, run.Scale = q.ID, ex.Name(), sc.Name
 					run.Client = client
 					runs = append(runs, run)
 				}
 			}
 			perClient[client] = runs
-		}(c)
+		}(c, ex)
 	}
 	wg.Wait()
 	wall := time.Since(start)
 	endU, endS := cpuTimes()
 
 	mix := MixStats{
-		Engine: es.Name, Scale: sc.Name, Clients: nClients, Wall: wall,
+		Engine: name, Scale: sc.Name, Clients: nClients, Wall: wall,
 		User: endU - startU, Sys: endS - startS, MemPeak: memPeak.Load(),
 	}
 	var latencies []time.Duration
@@ -137,19 +141,19 @@ func (r *Runner) runConcurrent(rep *Report, st *store.Store, es EngineSpec, sc S
 			// query — the endpoint went down, same as the in-flight
 			// MemoryExhausted classification.
 			rep.Runs = append(rep.Runs, QueryRun{
-				Query: q.ID, Engine: es.Name, Scale: sc.Name,
+				Query: q.ID, Engine: name, Scale: sc.Name,
 				Outcome: MemoryExhausted, Client: -1,
 				Err: "mix aborted before this query ran",
 			})
 			continue
 		}
 		merged := mergeClientRuns(runs)
-		if r.cfg.ChargeLoadToMem && !es.Opts.UseIndexes {
+		if chargeLoad {
 			merged.Wall += parseTime
 		}
 		rep.Runs = append(rep.Runs, merged)
 		r.progressf("%-7s %-16s %-5s %-8s %12v results=%d clients=%d\n",
-			sc.Name, es.Name, q.ID, merged.Outcome, merged.Wall.Round(time.Microsecond),
+			sc.Name, name, q.ID, merged.Outcome, merged.Wall.Round(time.Microsecond),
 			merged.Results, nClients)
 	}
 }

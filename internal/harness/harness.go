@@ -8,8 +8,10 @@ package harness
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -18,11 +20,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sp2bench/internal/client"
 	"sp2bench/internal/engine"
 	"sp2bench/internal/gen"
 	"sp2bench/internal/queries"
 	"sp2bench/internal/rdf"
-	"sp2bench/internal/sparql"
 	"sp2bench/internal/store"
 )
 
@@ -203,6 +205,13 @@ type Config struct {
 	// endpoints serve mixed parallel workloads, not one query at a time.
 	// Values <= 1 run the paper's sequential protocol.
 	Clients int
+	// Endpoint, when non-empty, benchmarks a remote SPARQL 1.1 endpoint
+	// at that URL instead of the in-process engines: no documents are
+	// generated or loaded (the endpoint serves its own data) and every
+	// query travels over HTTP. Scales and Engines are ignored; in
+	// concurrent mode the MixStats CPU/memory figures describe this
+	// process (the driving client), not the remote server.
+	Endpoint string
 	// Seed feeds the generator.
 	Seed uint64
 	// WorkDir caches generated documents between runs ("" = temp dir).
@@ -248,11 +257,13 @@ type Runner struct {
 
 // NewRunner validates the configuration.
 func NewRunner(cfg Config) (*Runner, error) {
-	if len(cfg.Scales) == 0 {
-		return nil, fmt.Errorf("harness: no scales configured")
-	}
-	if len(cfg.Engines) == 0 {
-		return nil, fmt.Errorf("harness: no engines configured")
+	if cfg.Endpoint == "" {
+		if len(cfg.Scales) == 0 {
+			return nil, fmt.Errorf("harness: no scales configured")
+		}
+		if len(cfg.Engines) == 0 {
+			return nil, fmt.Errorf("harness: no engines configured")
+		}
 	}
 	if cfg.Timeout <= 0 {
 		return nil, fmt.Errorf("harness: timeout must be positive")
@@ -316,8 +327,13 @@ func (r *Runner) Documents(rep *Report) error {
 	return nil
 }
 
-// Run executes the full protocol and returns the report.
+// Run executes the full protocol and returns the report. With
+// Config.Endpoint set, the protocol runs against the remote endpoint
+// instead of generating documents and driving in-process engines.
 func (r *Runner) Run() (*Report, error) {
+	if r.cfg.Endpoint != "" {
+		return r.runEndpoint()
+	}
 	rep := &Report{Config: r.cfg}
 	if err := r.Documents(rep); err != nil {
 		return nil, err
@@ -329,6 +345,7 @@ func (r *Runner) Run() (*Report, error) {
 			return nil, err
 		}
 		for _, es := range r.cfg.Engines {
+			es := es
 			loadWall := parseTime
 			if es.Opts.UseIndexes {
 				loadWall += freezeTime
@@ -336,20 +353,47 @@ func (r *Runner) Run() (*Report, error) {
 			rep.Loading = append(rep.Loading, LoadStats{
 				Scale: sc.Name, Engine: es.Name, Wall: loadWall, Triples: st.Len(),
 			})
-			if r.cfg.Clients > 1 {
-				r.runConcurrent(rep, st, es, sc, qs, parseTime)
-				continue
+			// In-memory engines re-parse the document per query when
+			// ChargeLoadToMem is set, mirroring engines without a
+			// persisted index.
+			charge := r.cfg.ChargeLoadToMem && !es.Opts.UseIndexes
+			factory := func() Executor {
+				return newEngineExecutor(es.Name, engine.New(st, es.Opts))
 			}
-			eng := engine.New(st, es.Opts)
-			for _, q := range qs {
-				run := r.runCell(eng, es, sc, q, parseTime)
-				rep.Runs = append(rep.Runs, run)
-				r.progressf("%-7s %-16s %-5s %-8s %12v results=%d\n",
-					sc.Name, es.Name, q.ID, run.Outcome, run.Wall.Round(time.Microsecond), run.Results)
-			}
+			r.drive(rep, factory, sc, qs, parseTime, charge)
 		}
 	}
 	return rep, nil
+}
+
+// runEndpoint executes the protocol against Config.Endpoint. The single
+// pseudo-scale "remote" stands in for the document sizes: the data
+// lives wherever the endpoint keeps it, outside this process's control
+// — exactly the situation when benchmarking a third-party store.
+func (r *Runner) runEndpoint() (*Report, error) {
+	rep := &Report{Config: r.cfg}
+	qs := r.querySet()
+	sc := Scale{Name: "remote"}
+	c := client.New(r.cfg.Endpoint)
+	factory := func() Executor { return newEndpointExecutor(c) }
+	r.drive(rep, factory, sc, qs, 0, false)
+	return rep, nil
+}
+
+// drive runs the query set against one backend at one scale, in the
+// sequential protocol or the concurrent mix per Config.Clients.
+func (r *Runner) drive(rep *Report, factory executorFactory, sc Scale, qs []queries.Query, parseTime time.Duration, chargeLoad bool) {
+	if r.cfg.Clients > 1 {
+		r.runConcurrent(rep, factory, sc, qs, parseTime, chargeLoad)
+		return
+	}
+	ex := factory()
+	for _, q := range qs {
+		run := r.runCell(ex, sc, q, parseTime, chargeLoad)
+		rep.Runs = append(rep.Runs, run)
+		r.progressf("%-7s %-16s %-5s %-8s %12v results=%d\n",
+			sc.Name, ex.Name(), q.ID, run.Outcome, run.Wall.Round(time.Microsecond), run.Results)
+	}
 }
 
 func (r *Runner) querySet() []queries.Query {
@@ -410,18 +454,18 @@ type runCtx struct {
 
 func sequentialCtx() runCtx { return runCtx{parent: context.Background()} }
 
-// runCell measures one (engine, scale, query) cell over cfg.Runs runs and
-// keeps the average of the successful protocol (the paper averages three
-// runs).
-func (r *Runner) runCell(eng *engine.Engine, es EngineSpec, sc Scale, q queries.Query, parseTime time.Duration) QueryRun {
+// runCell measures one (backend, scale, query) cell over cfg.Runs runs
+// and keeps the average of the successful protocol (the paper averages
+// three runs).
+func (r *Runner) runCell(ex Executor, sc Scale, q queries.Query, parseTime time.Duration, chargeLoad bool) QueryRun {
 	var agg QueryRun
-	agg.Query, agg.Engine, agg.Scale = q.ID, es.Name, sc.Name
+	agg.Query, agg.Engine, agg.Scale = q.ID, ex.Name(), sc.Name
 	var totalWall, totalUser, totalSys time.Duration
 	for i := 0; i < r.cfg.Runs; i++ {
-		one := r.runOnce(sequentialCtx(), eng, q)
+		one := r.runOnce(sequentialCtx(), ex, q)
 		if one.Outcome != Success {
-			one.Query, one.Engine, one.Scale = q.ID, es.Name, sc.Name
-			if r.cfg.ChargeLoadToMem && !es.Opts.UseIndexes {
+			one.Query, one.Engine, one.Scale = q.ID, ex.Name(), sc.Name
+			if chargeLoad {
 				one.Wall += parseTime
 			}
 			return one
@@ -438,19 +482,22 @@ func (r *Runner) runCell(eng *engine.Engine, es EngineSpec, sc Scale, q queries.
 	agg.Wall = totalWall / time.Duration(r.cfg.Runs)
 	agg.User = totalUser / time.Duration(r.cfg.Runs)
 	agg.Sys = totalSys / time.Duration(r.cfg.Runs)
-	if r.cfg.ChargeLoadToMem && !es.Opts.UseIndexes {
+	if chargeLoad {
 		agg.Wall += parseTime
 	}
 	return agg
 }
 
-func (r *Runner) runOnce(rc runCtx, eng *engine.Engine, q queries.Query) QueryRun {
+func (r *Runner) runOnce(rc runCtx, ex Executor, q queries.Query) QueryRun {
 	var run QueryRun
-	pq, err := sparql.Parse(q.Text, queries.Prologue)
-	if err != nil {
-		run.Outcome = ExecError
-		run.Err = err.Error()
-		return run
+	// Client-side setup (the engine backend's parse) happens before the
+	// clock starts: the protocol measures evaluation.
+	if p, ok := ex.(preparer); ok {
+		if err := p.Prepare(q); err != nil {
+			run.Outcome = ExecError
+			run.Err = err.Error()
+			return run
+		}
 	}
 	ctx, cancel := context.WithTimeout(rc.parent, r.cfg.Timeout)
 	defer cancel()
@@ -466,7 +513,7 @@ func (r *Runner) runOnce(rc runCtx, eng *engine.Engine, q queries.Query) QueryRu
 		startU, startS = cpuTimes()
 	}
 	start := time.Now()
-	n, err := eng.Count(ctx, pq)
+	n, err := ex.Execute(ctx, q)
 	run.Wall = time.Since(start)
 	if perRun {
 		endU, endS := cpuTimes()
@@ -477,6 +524,7 @@ func (r *Runner) runOnce(rc runCtx, eng *engine.Engine, q queries.Query) QueryRu
 		run.MemPeak = memPeak.Load()
 	}
 
+	var remoteTimeout *client.HTTPError
 	switch {
 	case err == nil:
 		run.Outcome = Success
@@ -487,6 +535,12 @@ func (r *Runner) runOnce(rc runCtx, eng *engine.Engine, q queries.Query) QueryRu
 	case ctx.Err() != nil:
 		run.Outcome = Timeout
 		run.Err = ctx.Err().Error()
+	case errors.As(err, &remoteTimeout) && remoteTimeout.StatusCode == http.StatusServiceUnavailable:
+		// The endpoint's own budget expired first (sp2bserve answers
+		// 503 for that) — the same Timeout outcome the in-process
+		// engines get, just enforced on the other side of the wire.
+		run.Outcome = Timeout
+		run.Err = err.Error()
 	default:
 		run.Outcome = ExecError
 		run.Err = err.Error()

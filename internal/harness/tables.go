@@ -184,7 +184,7 @@ func (rep *Report) RenderPerQuery(w io.Writer) {
 			fmt.Fprintf(w, " | %-28s", eng+" tme/usr/sys [s]")
 		}
 		fmt.Fprintln(w)
-		for _, sc := range rep.Config.Scales {
+		for _, sc := range reportScales(rep) {
 			fmt.Fprintf(w, "%-7s", sc.Name)
 			for _, eng := range engines {
 				run, ok := rep.Run(eng, sc.Name, q)
@@ -230,7 +230,33 @@ func sortedEngineNames(rep *Report) []string {
 			out = append(out, es.Name)
 		}
 	}
+	// An endpoint-mode report configures no engines; the backends that
+	// actually ran are in the run records.
+	for _, run := range rep.Runs {
+		if !seen[run.Engine] {
+			seen[run.Engine] = true
+			out = append(out, run.Engine)
+		}
+	}
 	sort.Strings(out)
+	return out
+}
+
+// reportScales returns the configured scales, or — for endpoint-mode
+// reports, which configure none — the scales observed in the runs, in
+// encounter order.
+func reportScales(rep *Report) []Scale {
+	if len(rep.Config.Scales) > 0 {
+		return rep.Config.Scales
+	}
+	seen := map[string]bool{}
+	var out []Scale
+	for _, run := range rep.Runs {
+		if !seen[run.Scale] {
+			seen[run.Scale] = true
+			out = append(out, Scale{Name: run.Scale})
+		}
+	}
 	return out
 }
 

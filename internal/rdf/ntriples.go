@@ -242,13 +242,19 @@ func (p *lineParser) literal() (Term, error) {
 				}
 				return TypedLiteral(lex, dt.Value), nil
 			}
-			// language tags are not produced by the generator but accepted
-			// and discarded for robustness
+			// optional language tag (not produced by the generator, but
+			// round-tripped for external data)
 			if p.i < len(p.s) && p.s[p.i] == '@' {
 				p.i++
+				start := p.i
 				for p.i < len(p.s) && p.s[p.i] != ' ' && p.s[p.i] != '\t' {
 					p.i++
 				}
+				lang := p.s[start:p.i]
+				if lang == "" {
+					return Term{}, p.errf("empty language tag")
+				}
+				return LangLiteral(lex, lang), nil
 			}
 			return Literal(lex), nil
 		}

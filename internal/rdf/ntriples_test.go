@@ -140,14 +140,36 @@ func TestReaderSkipsCommentsAndBlanks(t *testing.T) {
 	}
 }
 
-func TestReaderLanguageTagAcceptedAndDropped(t *testing.T) {
+func TestReaderLanguageTag(t *testing.T) {
 	input := `<http://x/a> <http://x/p> "hallo"@de .` + "\n"
 	got, err := NewReader(strings.NewReader(input)).ReadAll()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 || got[0].O != Literal("hallo") {
+	if len(got) != 1 || got[0].O != LangLiteral("hallo", "de") {
 		t.Fatalf("language-tagged literal mishandled: %v", got)
+	}
+	if s := got[0].O.String(); s != `"hallo"@de` {
+		t.Fatalf("lang literal N-Triples form = %s", s)
+	}
+	// Round-trip through the writer.
+	var buf strings.Builder
+	w := NewWriter(&buf)
+	if err := w.WriteTriple(got[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	back, err := NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 1 || back[0] != got[0] {
+		t.Fatalf("lang literal did not round-trip: %v", back)
+	}
+	if _, err := NewReader(strings.NewReader(`<http://x/a> <http://x/p> "x"@ .`)).ReadAll(); err == nil {
+		t.Fatal("empty language tag accepted")
 	}
 }
 

@@ -43,12 +43,15 @@ func (k TermKind) String() string {
 //
 // A Term is a small value type and is intended to be copied freely. For
 // IRIs, Value holds the IRI string. For blank nodes, Value holds the label
-// (without the "_:" prefix). For literals, Value holds the lexical form and
-// Datatype optionally holds the datatype IRI ("" means a plain literal).
+// (without the "_:" prefix). For literals, Value holds the lexical form,
+// Datatype optionally holds the datatype IRI ("" means a plain literal),
+// and Lang optionally holds a language tag. A literal carries at most one
+// of Datatype and Lang, mirroring the RDF abstract syntax.
 type Term struct {
 	Kind     TermKind
 	Value    string
 	Datatype string
+	Lang     string
 }
 
 // IRI returns an IRI term.
@@ -63,6 +66,11 @@ func Literal(lex string) Term { return Term{Kind: KindLiteral, Value: lex} }
 // TypedLiteral returns a literal with an explicit datatype IRI.
 func TypedLiteral(lex, datatype string) Term {
 	return Term{Kind: KindLiteral, Value: lex, Datatype: datatype}
+}
+
+// LangLiteral returns a language-tagged literal (e.g. "Journal"@en).
+func LangLiteral(lex, lang string) Term {
+	return Term{Kind: KindLiteral, Value: lex, Lang: lang}
 }
 
 // String returns a typed string literal (xsd:string), the literal form the
@@ -85,7 +93,7 @@ func (t Term) IsLiteral() bool { return t.Kind == KindLiteral }
 func (t Term) IsZero() bool { return t.Kind == KindInvalid }
 
 // Equal reports RDF term equality: same kind, same value and, for
-// literals, the same datatype.
+// literals, the same datatype and language tag.
 func (t Term) Equal(o Term) bool { return t == o }
 
 // Compare orders terms for ORDER BY and for index construction. The order
@@ -111,7 +119,10 @@ func (t Term) Compare(o Term) int {
 		if c := strings.Compare(t.Value, o.Value); c != 0 {
 			return c
 		}
-		return strings.Compare(t.Datatype, o.Datatype)
+		if c := strings.Compare(t.Datatype, o.Datatype); c != 0 {
+			return c
+		}
+		return strings.Compare(t.Lang, o.Lang)
 	}
 	return strings.Compare(t.Value, o.Value)
 }
@@ -211,10 +222,14 @@ func (t Term) writeNT(b *strings.Builder) {
 		b.WriteByte('"')
 		escapeInto(b, t.Value)
 		b.WriteByte('"')
-		if t.Datatype != "" {
+		switch {
+		case t.Datatype != "":
 			b.WriteString("^^<")
 			b.WriteString(t.Datatype)
 			b.WriteByte('>')
+		case t.Lang != "":
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
 		}
 	default:
 		b.WriteString("<invalid>")

@@ -1,0 +1,126 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sp2bench/internal/rdf"
+)
+
+// The wire structures of the SPARQL 1.1 Query Results JSON Format
+// (https://www.w3.org/TR/sparql11-results-json/). The same shapes serve
+// writing and parsing, so the two directions cannot drift apart.
+
+type jsonDoc struct {
+	Head    jsonHead     `json:"head"`
+	Boolean *bool        `json:"boolean,omitempty"`
+	Results *jsonResults `json:"results,omitempty"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars,omitempty"`
+}
+
+type jsonResults struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+type jsonTerm struct {
+	// Type is "uri", "literal", "bnode", or the legacy "typed-literal"
+	// some older endpoints emit.
+	Type     string `json:"type"`
+	Value    string `json:"value"`
+	Datatype string `json:"datatype,omitempty"`
+	Lang     string `json:"xml:lang,omitempty"`
+}
+
+// WriteJSON serializes the result in the SPARQL 1.1 JSON results format.
+func (r *Result) WriteJSON(w io.Writer) error {
+	doc := jsonDoc{}
+	if r.IsAsk() {
+		doc.Boolean = r.Boolean
+	} else {
+		doc.Head.Vars = r.Vars
+		bindings := make([]map[string]jsonTerm, 0, len(r.Rows))
+		for _, row := range r.Rows {
+			b := make(map[string]jsonTerm, len(row))
+			for i, t := range row {
+				if i >= len(r.Vars) || t.IsZero() {
+					continue // unbound cells are simply absent
+				}
+				b[r.Vars[i]] = encodeJSONTerm(t)
+			}
+			bindings = append(bindings, b)
+		}
+		doc.Results = &jsonResults{Bindings: bindings}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}
+
+func encodeJSONTerm(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.KindIRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.KindBlank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Datatype: t.Datatype, Lang: t.Lang}
+	}
+}
+
+// ParseJSON reconstructs a Result from the SPARQL 1.1 JSON results
+// format. Bindings naming variables absent from the head are rejected;
+// variables absent from a binding become unbound (zero) cells.
+func ParseJSON(r io.Reader) (*Result, error) {
+	dec := json.NewDecoder(r)
+	var doc jsonDoc
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("results: decoding JSON results: %w", err)
+	}
+	if doc.Boolean != nil {
+		return Ask(*doc.Boolean), nil
+	}
+	if doc.Results == nil {
+		return nil, fmt.Errorf("results: JSON document has neither boolean nor results")
+	}
+	slot := make(map[string]int, len(doc.Head.Vars))
+	for i, v := range doc.Head.Vars {
+		slot[v] = i
+	}
+	out := &Result{Vars: doc.Head.Vars}
+	if len(doc.Head.Vars) > 0 {
+		out.Rows = make([][]rdf.Term, 0, len(doc.Results.Bindings))
+	}
+	for _, b := range doc.Results.Bindings {
+		row := make([]rdf.Term, len(doc.Head.Vars))
+		for name, jt := range b {
+			i, ok := slot[name]
+			if !ok {
+				return nil, fmt.Errorf("results: binding for undeclared variable %q", name)
+			}
+			t, err := decodeJSONTerm(jt)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = t
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+func decodeJSONTerm(jt jsonTerm) (rdf.Term, error) {
+	switch jt.Type {
+	case "uri":
+		return rdf.IRI(jt.Value), nil
+	case "bnode":
+		return rdf.Blank(jt.Value), nil
+	case "literal", "typed-literal":
+		t := rdf.Term{Kind: rdf.KindLiteral, Value: jt.Value, Datatype: jt.Datatype, Lang: jt.Lang}
+		return t, nil
+	default:
+		return rdf.Term{}, fmt.Errorf("results: unknown term type %q", jt.Type)
+	}
+}

@@ -1,0 +1,207 @@
+package results
+
+import (
+	"strings"
+	"testing"
+
+	"sp2bench/internal/rdf"
+)
+
+// sampleResult exercises every cell shape the formats must carry: IRIs,
+// blank nodes, plain/typed/lang literals, unbound cells, and values that
+// need escaping in each format.
+func sampleResult() *Result {
+	return Select(
+		[]string{"s", "v", "note"},
+		[][]rdf.Term{
+			{rdf.IRI("http://example.org/a"), rdf.Integer(42), rdf.LangLiteral("hallo", "de")},
+			{rdf.Blank("b0"), rdf.Term{}, rdf.Literal(`comma, "quote"` + "\nnewline")},
+			{rdf.IRI("http://example.org/<&>"), rdf.String("x"), rdf.Term{}},
+		},
+	)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	want := sampleResult()
+	var buf strings.Builder
+	if err := want.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameSelect(t, want, got)
+}
+
+func TestJSONAskRoundTrip(t *testing.T) {
+	for _, verdict := range []bool{true, false} {
+		var buf strings.Builder
+		if err := Ask(verdict).WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseJSON(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.IsAsk() || *got.Boolean != verdict {
+			t.Fatalf("ASK %v did not round-trip: %+v", verdict, got)
+		}
+	}
+}
+
+func TestParseJSONLegacyTypedLiteral(t *testing.T) {
+	doc := `{"head":{"vars":["x"]},"results":{"bindings":[
+		{"x":{"type":"typed-literal","datatype":"http://www.w3.org/2001/XMLSchema#integer","value":"7"}}]}}`
+	got, err := ParseJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows[0][0] != rdf.Integer(7) {
+		t.Fatalf("typed-literal decoded to %v", got.Rows[0][0])
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":            `{`,
+		"neither form":        `{"head":{}}`,
+		"undeclared variable": `{"head":{"vars":["x"]},"results":{"bindings":[{"y":{"type":"uri","value":"u"}}]}}`,
+		"unknown term type":   `{"head":{"vars":["x"]},"results":{"bindings":[{"x":{"type":"quad","value":"u"}}]}}`,
+	}
+	for name, doc := range cases {
+		if _, err := ParseJSON(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: error expected", name)
+		}
+	}
+}
+
+func TestWriteXML(t *testing.T) {
+	var buf strings.Builder
+	if err := sampleResult().WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`<sparql xmlns="http://www.w3.org/2005/sparql-results#">`,
+		`<variable name="s"/>`,
+		`<uri>http://example.org/a</uri>`,
+		`<bnode>b0</bnode>`,
+		`<literal datatype="http://www.w3.org/2001/XMLSchema#integer">42</literal>`,
+		`<literal xml:lang="de">hallo</literal>`,
+		`<uri>http://example.org/&lt;&amp;&gt;</uri>`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("XML output missing %s\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := Ask(true).WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "<boolean>true</boolean>") {
+		t.Errorf("ASK XML missing boolean: %s", buf.String())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf strings.Builder
+	if err := sampleResult().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\r\n")
+	if lines[0] != "s,v,note" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "http://example.org/a,42,hallo" {
+		t.Errorf("CSV row 1 = %q", lines[1])
+	}
+	// Unbound middle cell is empty; the quoted field keeps its newline.
+	if !strings.HasPrefix(lines[2], `_:b0,,"comma, ""quote""`) {
+		t.Errorf("CSV row 2 = %q", lines[2])
+	}
+}
+
+func TestWriteTSV(t *testing.T) {
+	var buf strings.Builder
+	if err := sampleResult().WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	if lines[0] != "?s\t?v\t?note" {
+		t.Errorf("TSV header = %q", lines[0])
+	}
+	if lines[1] != "<http://example.org/a>\t\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>\t\"hallo\"@de" {
+		t.Errorf("TSV row 1 = %q", lines[1])
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf strings.Builder
+	if err := sampleResult().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "(unbound)") {
+		t.Errorf("table output missing unbound marker:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := Ask(false).WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "no\n" {
+		t.Errorf("ASK table = %q", buf.String())
+	}
+}
+
+func TestWriteGraph(t *testing.T) {
+	g := []rdf.Triple{
+		rdf.NewTriple(rdf.IRI("http://x/a"), rdf.IRI("http://x/p"), rdf.LangLiteral("hi", "en")),
+	}
+	var buf strings.Builder
+	if err := WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "<http://x/a> <http://x/p> \"hi\"@en .\n" {
+		t.Errorf("graph output = %q", buf.String())
+	}
+}
+
+func TestParseFormat(t *testing.T) {
+	for _, name := range []string{"json", "xml", "csv", "tsv", "table"} {
+		f, err := ParseFormat(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.String() != name {
+			t.Errorf("ParseFormat(%q).String() = %q", name, f)
+		}
+		if f.ContentType() == "" {
+			t.Errorf("%s: empty content type", name)
+		}
+	}
+	if _, err := ParseFormat("yaml"); err == nil {
+		t.Error("ParseFormat accepted yaml")
+	}
+}
+
+// assertSameSelect compares two SELECT results cell by cell (nil/empty
+// row slices are equivalent).
+func assertSameSelect(t *testing.T, want, got *Result) {
+	t.Helper()
+	if got.IsAsk() {
+		t.Fatalf("got ASK result, want SELECT")
+	}
+	if strings.Join(got.Vars, ",") != strings.Join(want.Vars, ",") {
+		t.Fatalf("vars = %v, want %v", got.Vars, want.Vars)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("rows = %d, want %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range want.Rows {
+		for j := range want.Vars {
+			if got.Rows[i][j] != want.Rows[i][j] {
+				t.Fatalf("cell (%d,%d) = %v, want %v", i, j, got.Rows[i][j], want.Rows[i][j])
+			}
+		}
+	}
+}

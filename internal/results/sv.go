@@ -1,0 +1,115 @@
+package results
+
+import (
+	"io"
+	"strings"
+
+	"sp2bench/internal/rdf"
+)
+
+// The CSV and TSV results formats of SPARQL 1.1
+// (https://www.w3.org/TR/sparql11-results-csv-tsv/): CSV carries plain
+// lexical forms (lossy but spreadsheet-friendly), TSV carries full
+// N-Triples term syntax (lossless). Neither format defines an ASK
+// serialization; both writers emit a single "true"/"false" line, the
+// de-facto convention of deployed endpoints.
+
+// WriteCSV serializes the result in the SPARQL 1.1 CSV results format:
+// a header of variable names, then one RFC 4180 record per solution
+// with raw lexical forms (unbound cells are empty).
+func (r *Result) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	if r.IsAsk() {
+		writeBool(&b, *r.Boolean)
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	for i, v := range r.Vars {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		csvField(&b, v)
+	}
+	b.WriteString("\r\n")
+	for _, row := range r.Rows {
+		for i := range r.Vars {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if i < len(row) && !row[i].IsZero() {
+				csvField(&b, csvValue(row[i]))
+			}
+		}
+		b.WriteString("\r\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// csvValue renders a term the way the CSV format prescribes: bare
+// lexical forms for IRIs and literals, "_:"-prefixed labels for blank
+// nodes.
+func csvValue(t rdf.Term) string {
+	if t.Kind == rdf.KindBlank {
+		return "_:" + t.Value
+	}
+	return t.Value
+}
+
+func csvField(b *strings.Builder, s string) {
+	if !strings.ContainsAny(s, ",\"\n\r") {
+		b.WriteString(s)
+		return
+	}
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if s[i] == '"' {
+			b.WriteString(`""`)
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	b.WriteByte('"')
+}
+
+// WriteTSV serializes the result in the SPARQL 1.1 TSV results format:
+// a header of "?"-prefixed variable names, then one tab-separated row
+// per solution with terms in N-Triples syntax (unbound cells are
+// empty).
+func (r *Result) WriteTSV(w io.Writer) error {
+	var b strings.Builder
+	if r.IsAsk() {
+		writeBool(&b, *r.Boolean)
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	for i, v := range r.Vars {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		b.WriteByte('?')
+		b.WriteString(v)
+	}
+	b.WriteByte('\n')
+	for _, row := range r.Rows {
+		for i := range r.Vars {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			if i < len(row) && !row[i].IsZero() {
+				b.WriteString(row[i].String())
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeBool(b *strings.Builder, v bool) {
+	if v {
+		b.WriteString("true\n")
+	} else {
+		b.WriteString("false\n")
+	}
+}

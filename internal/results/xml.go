@@ -1,0 +1,80 @@
+package results
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"sp2bench/internal/rdf"
+)
+
+// WriteXML serializes the result in the SPARQL Query Results XML Format
+// (https://www.w3.org/TR/rdf-sparql-XMLres/).
+func (r *Result) WriteXML(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(xml.Header)
+	b.WriteString(`<sparql xmlns="http://www.w3.org/2005/sparql-results#">` + "\n")
+	b.WriteString("  <head>\n")
+	for _, v := range r.Vars {
+		b.WriteString(`    <variable name="`)
+		xmlEscape(&b, v)
+		b.WriteString("\"/>\n")
+	}
+	b.WriteString("  </head>\n")
+	if r.IsAsk() {
+		fmt.Fprintf(&b, "  <boolean>%t</boolean>\n", *r.Boolean)
+	} else {
+		b.WriteString("  <results>\n")
+		for _, row := range r.Rows {
+			b.WriteString("    <result>\n")
+			for i, t := range row {
+				if i >= len(r.Vars) || t.IsZero() {
+					continue
+				}
+				b.WriteString(`      <binding name="`)
+				xmlEscape(&b, r.Vars[i])
+				b.WriteString(`">`)
+				writeXMLTerm(&b, t)
+				b.WriteString("</binding>\n")
+			}
+			b.WriteString("    </result>\n")
+		}
+		b.WriteString("  </results>\n")
+	}
+	b.WriteString("</sparql>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeXMLTerm(b *strings.Builder, t rdf.Term) {
+	switch t.Kind {
+	case rdf.KindIRI:
+		b.WriteString("<uri>")
+		xmlEscape(b, t.Value)
+		b.WriteString("</uri>")
+	case rdf.KindBlank:
+		b.WriteString("<bnode>")
+		xmlEscape(b, t.Value)
+		b.WriteString("</bnode>")
+	default:
+		b.WriteString("<literal")
+		if t.Datatype != "" {
+			b.WriteString(` datatype="`)
+			xmlEscape(b, t.Datatype)
+			b.WriteString(`"`)
+		} else if t.Lang != "" {
+			b.WriteString(` xml:lang="`)
+			xmlEscape(b, t.Lang)
+			b.WriteString(`"`)
+		}
+		b.WriteString(">")
+		xmlEscape(b, t.Value)
+		b.WriteString("</literal>")
+	}
+}
+
+func xmlEscape(b *strings.Builder, s string) {
+	// xml.EscapeText cannot fail on a strings.Builder.
+	_ = xml.EscapeText(b, []byte(s))
+}

@@ -1,0 +1,322 @@
+// Package server implements the query operation of the SPARQL 1.1
+// Protocol (https://www.w3.org/TR/sparql11-protocol/) over an in-process
+// engine: GET with a query parameter, POST with form-encoded parameters,
+// and POST with an application/sparql-query body, with content
+// negotiation across the internal/results formats. It is the subsystem
+// that turns the benchmark's engines into a networked SPARQL endpoint
+// any protocol-speaking client (including this repo's own harness) can
+// drive.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sp2bench/internal/engine"
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/results"
+	"sp2bench/internal/sparql"
+)
+
+// maxQueryBytes bounds request bodies; benchmark queries are under a
+// kilobyte, so a megabyte leaves two orders of magnitude of headroom
+// while keeping hostile payloads out of memory.
+const maxQueryBytes = 1 << 20
+
+// Config tunes one protocol endpoint.
+type Config struct {
+	// Engine evaluates the queries (required). Engines are stateless
+	// after construction, so one instance serves all requests.
+	Engine *engine.Engine
+	// Timeout is the per-request evaluation limit (0 = none). Requests
+	// exceeding it answer 503.
+	Timeout time.Duration
+	// MaxConcurrent caps in-flight evaluations (0 = unlimited). Excess
+	// requests queue until a slot frees or their context ends.
+	MaxConcurrent int
+	// Logf, when non-nil, receives one line per completed request.
+	Logf func(format string, args ...any)
+}
+
+// Server is the http.Handler implementing the protocol's query
+// operation.
+type Server struct {
+	cfg Config
+	sem chan struct{}
+}
+
+// New validates the configuration and returns the handler.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, fmt.Errorf("server: no engine configured")
+	}
+	s := &Server{cfg: cfg}
+	if cfg.MaxConcurrent > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConcurrent)
+	}
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// ServeHTTP handles one protocol query request.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	status, detail := s.serve(w, r)
+	s.logf("%s %s %d %v %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond), detail)
+}
+
+// serve runs the request and returns (status, log detail). Error
+// statuses are written by httpError; success statuses by the result
+// writer.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request) (int, string) {
+	text, status, err := queryText(r)
+	if err != nil {
+		return httpError(w, status, err)
+	}
+
+	// The concurrency limiter queues rather than rejects: a benchmark
+	// driving more clients than the cap should see latency, not errors.
+	// A request whose context ends while queued answers 503.
+	if s.sem != nil {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-r.Context().Done():
+			return httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server at capacity"))
+		}
+	}
+
+	q, err := sparql.Parse(text, rdf.Prefixes)
+	if err != nil {
+		// The protocol's MalformedQuery fault.
+		return httpError(w, http.StatusBadRequest, err)
+	}
+
+	ctx := r.Context()
+	if s.cfg.Timeout != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Timeout)
+		defer cancel()
+	}
+	if ctx.Err() != nil {
+		return httpError(w, http.StatusServiceUnavailable, fmt.Errorf("query timed out"))
+	}
+
+	res, graph, err := s.cfg.Engine.Eval(ctx, q)
+	switch {
+	case err == nil:
+	case errors.Is(err, engine.ErrCancelled) || ctx.Err() != nil:
+		return httpError(w, http.StatusServiceUnavailable, fmt.Errorf("query timed out: %w", err))
+	default:
+		// The protocol's QueryRequestRefused fault: the query was
+		// well-formed but evaluation failed.
+		return httpError(w, http.StatusInternalServerError, err)
+	}
+
+	accept := r.Header.Get("Accept")
+	if q.Form == sparql.FormConstruct || q.Form == sparql.FormDescribe {
+		if !graphAcceptable(accept) {
+			return httpError(w, http.StatusNotAcceptable,
+				fmt.Errorf("CONSTRUCT/DESCRIBE results are only available as %s", results.NTriplesContentType))
+		}
+		w.Header().Set("Content-Type", results.NTriplesContentType)
+		if err := results.WriteGraph(w, graph); err != nil {
+			return http.StatusOK, "write: " + err.Error()
+		}
+		return http.StatusOK, fmt.Sprintf("%s %d triples", q.Form, len(graph))
+	}
+
+	format, ok := negotiate(accept)
+	if !ok {
+		return httpError(w, http.StatusNotAcceptable,
+			fmt.Errorf("no supported result format in Accept %q (supported: %s)",
+				accept, strings.Join(SupportedSelectTypes(), ", ")))
+	}
+	w.Header().Set("Content-Type", format.ContentType())
+	out := results.FromEngine(res)
+	if err := out.Write(w, format); err != nil {
+		// Headers are gone; all we can do is log the broken pipe.
+		return http.StatusOK, "write: " + err.Error()
+	}
+	return http.StatusOK, fmt.Sprintf("%s %d solutions as %s", q.Form, out.Len(), format)
+}
+
+// queryText extracts the query string per the three protocol bindings.
+func queryText(r *http.Request) (string, int, error) {
+	switch r.Method {
+	case http.MethodGet:
+		q := r.URL.Query().Get("query")
+		if q == "" {
+			return "", http.StatusBadRequest, fmt.Errorf("missing query parameter")
+		}
+		return q, 0, nil
+	case http.MethodPost:
+		ct, _, err := mime.ParseMediaType(r.Header.Get("Content-Type"))
+		if err != nil && r.Header.Get("Content-Type") != "" {
+			return "", http.StatusUnsupportedMediaType, fmt.Errorf("bad Content-Type: %v", err)
+		}
+		switch ct {
+		case "application/sparql-query":
+			body, err := io.ReadAll(io.LimitReader(r.Body, maxQueryBytes+1))
+			if err != nil {
+				return "", http.StatusBadRequest, fmt.Errorf("reading body: %v", err)
+			}
+			if len(body) > maxQueryBytes {
+				return "", http.StatusRequestEntityTooLarge, fmt.Errorf("query exceeds %d bytes", maxQueryBytes)
+			}
+			if len(body) == 0 {
+				return "", http.StatusBadRequest, fmt.Errorf("empty query body")
+			}
+			return string(body), 0, nil
+		case "application/x-www-form-urlencoded", "":
+			r.Body = http.MaxBytesReader(nil, r.Body, maxQueryBytes)
+			if err := r.ParseForm(); err != nil {
+				var tooBig *http.MaxBytesError
+				if errors.As(err, &tooBig) {
+					return "", http.StatusRequestEntityTooLarge, fmt.Errorf("form body exceeds %d bytes", maxQueryBytes)
+				}
+				return "", http.StatusBadRequest, fmt.Errorf("parsing form body: %v", err)
+			}
+			q := r.PostFormValue("query")
+			if q == "" {
+				return "", http.StatusBadRequest, fmt.Errorf("missing query form parameter")
+			}
+			return q, 0, nil
+		default:
+			return "", http.StatusUnsupportedMediaType,
+				fmt.Errorf("unsupported Content-Type %q (want application/sparql-query or form encoding)", ct)
+		}
+	default:
+		return "", http.StatusMethodNotAllowed, fmt.Errorf("method %s not allowed (want GET or POST)", r.Method)
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, err error) (int, string) {
+	if status == http.StatusMethodNotAllowed {
+		w.Header().Set("Allow", "GET, POST")
+	}
+	http.Error(w, err.Error(), status)
+	return status, err.Error()
+}
+
+// selectTypes maps the media types the endpoint can produce for
+// SELECT/ASK results to their formats, including the generic types
+// clients commonly send.
+var selectTypes = map[string]results.Format{
+	"application/sparql-results+json": results.JSON,
+	"application/json":                results.JSON,
+	"application/sparql-results+xml":  results.XML,
+	"application/xml":                 results.XML,
+	"text/csv":                        results.CSV,
+	"text/tab-separated-values":       results.TSV,
+	"text/plain":                      results.Table,
+}
+
+// negotiate picks the SELECT/ASK result format for an Accept header:
+// the supported media type with the highest quality value, ties broken
+// by order of appearance, JSON for empty or fully wildcarded headers.
+// ok is false when the header names only unsupported types.
+func negotiate(accept string) (results.Format, bool) {
+	accept = strings.TrimSpace(accept)
+	if accept == "" {
+		return results.JSON, true
+	}
+	type choice struct {
+		format results.Format
+		q      float64
+	}
+	var best *choice
+	sawRange := false
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, params, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err != nil {
+			continue
+		}
+		sawRange = true
+		q := 1.0
+		if qs, okq := params["q"]; okq {
+			if v, errq := strconv.ParseFloat(qs, 64); errq == nil {
+				q = v
+			}
+		}
+		if q <= 0 {
+			continue
+		}
+		var format results.Format
+		switch mediaType {
+		case "*/*", "application/*":
+			format = results.JSON
+		case "text/*":
+			// CSV is the standard text format (table is a convenience).
+			format = results.CSV
+		default:
+			f, okf := selectTypes[mediaType]
+			if !okf {
+				continue
+			}
+			format = f
+		}
+		if best == nil || q > best.q {
+			best = &choice{format: format, q: q}
+		}
+	}
+	if best == nil {
+		// A present but entirely unparseable header is treated as
+		// absent; a parseable header naming only unsupported types is a
+		// negotiation failure.
+		return results.JSON, !sawRange
+	}
+	return best.format, true
+}
+
+// graphAcceptable reports whether an Accept header admits N-Triples
+// (the only graph serialization served). Like negotiate, a header with
+// no parseable media range at all is treated as absent.
+func graphAcceptable(accept string) bool {
+	accept = strings.TrimSpace(accept)
+	if accept == "" {
+		return true
+	}
+	sawRange := false
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, params, err := mime.ParseMediaType(strings.TrimSpace(part))
+		if err != nil {
+			continue
+		}
+		sawRange = true
+		if q, okq := params["q"]; okq {
+			if v, errq := strconv.ParseFloat(q, 64); errq == nil && v <= 0 {
+				continue
+			}
+		}
+		switch mediaType {
+		case "application/n-triples", "text/plain", "*/*", "application/*", "text/*":
+			return true
+		}
+	}
+	return !sawRange
+}
+
+// SupportedSelectTypes returns the media types negotiable for
+// SELECT/ASK results, sorted — the 406 diagnostic lists them.
+func SupportedSelectTypes() []string {
+	out := make([]string, 0, len(selectTypes))
+	for t := range selectTypes {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

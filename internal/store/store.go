@@ -274,8 +274,8 @@ func dedup(ts []EncTriple) []EncTriple {
 
 // Match returns the triples (in SPO component order) matching the pattern,
 // where NoID components are wildcards. The store must be frozen. The
-// returned slice aliases internal index storage only when a fresh slice is
-// not needed; callers must treat it as read-only.
+// returned slice is always freshly built and owned by the caller; use
+// Iterate to stream matches without materializing them.
 func (s *Store) Match(sub, pred, obj ID) []EncTriple {
 	it := s.Iterate(sub, pred, obj)
 	var out []EncTriple
