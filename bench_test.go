@@ -30,6 +30,7 @@ import (
 	"sp2bench/internal/harness"
 	"sp2bench/internal/queries"
 	"sp2bench/internal/rdf"
+	"sp2bench/internal/snapshot"
 	"sp2bench/internal/sparql"
 	"sp2bench/internal/store"
 )
@@ -279,6 +280,62 @@ func BenchmarkLoading(b *testing.B) {
 				if _, err := s.Load(bytes.NewReader(doc)); err != nil {
 					b.Fatal(err)
 				}
+			}
+		})
+	}
+}
+
+// --- cold start: N-Triples parse vs. snapshot load -------------------------
+
+// BenchmarkColdStart compares the two ways a benchmark process can
+// reach a queryable store: parsing + index-sorting the N-Triples text
+// versus reloading the pre-sorted binary snapshot (internal/snapshot).
+// The snapshot path is the cold-start the harness, sp2bserve and
+// sp2bquery take when handed an .sp2b file; the acceptance bar is a
+// ≥5× speedup at 1M triples. The speedup factor is reported as a
+// custom metric on the snapshot runs.
+func BenchmarkColdStart(b *testing.B) {
+	for _, scale := range []struct {
+		name    string
+		triples int64
+	}{
+		{"50k", 50_000},
+		{"1M", 1_000_000},
+	} {
+		doc, _ := document(b, scale.triples)
+		frozen := loadedStore(b, scale.triples)
+		var snap bytes.Buffer
+		if err := snapshot.Write(&snap, frozen); err != nil {
+			b.Fatal(err)
+		}
+
+		var ntPerOp float64
+		b.Run("ntriples/"+scale.name, func(b *testing.B) {
+			b.SetBytes(int64(len(doc)))
+			for i := 0; i < b.N; i++ {
+				s := store.New()
+				if _, err := s.Load(bytes.NewReader(doc)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ntPerOp = float64(b.Elapsed()) / float64(b.N)
+		})
+		b.Run("snapshot/"+scale.name, func(b *testing.B) {
+			b.SetBytes(int64(snap.Len()))
+			var st *store.Store
+			for i := 0; i < b.N; i++ {
+				var err error
+				st, err = snapshot.Read(bytes.NewReader(snap.Bytes()))
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if st.Len() != frozen.Len() {
+				b.Fatalf("snapshot reloaded %d triples, want %d", st.Len(), frozen.Len())
+			}
+			snapPerOp := float64(b.Elapsed()) / float64(b.N)
+			if ntPerOp > 0 {
+				b.ReportMetric(ntPerOp/snapPerOp, "speedup-vs-ntriples")
 			}
 		})
 	}

@@ -1,22 +1,34 @@
 // Command sp2bgen is the SP2Bench data generator CLI, the counterpart of
 // the paper's sp2b_gen tool: it writes arbitrarily large DBLP-like RDF
-// documents in N-Triples format, deterministically.
+// documents, deterministically, as N-Triples text or as a binary .sp2b
+// snapshot that reloads without re-parsing or re-sorting.
 //
 // Usage:
 //
-//	sp2bgen -t 1000000 -o sp2b-1m.nt        # 1M triples
+//	sp2bgen -t 1000000 -o sp2b-1m.nt        # 1M triples, N-Triples text
+//	sp2bgen -t 1000000 -o sp2b-1m.sp2b      # same data as a binary snapshot
+//	sp2bgen -t 1000000 -o doc -format snapshot  # snapshot regardless of extension
 //	sp2bgen -y 1975 -o sp2b-1975.nt         # everything up to 1975
 //	sp2bgen -t 50000 -stats                 # print document statistics
+//
+// The snapshot format (see internal/snapshot) stores the
+// dictionary-encoded, pre-sorted form of the document; sp2bquery,
+// sp2bserve and sp2bbench auto-detect it by magic bytes, so it is a
+// drop-in replacement wherever a document file is expected — one that
+// loads an order of magnitude faster.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"sp2bench/internal/core"
 	"sp2bench/internal/dist"
 	"sp2bench/internal/gen"
+	"sp2bench/internal/snapshot"
 )
 
 func main() {
@@ -24,6 +36,7 @@ func main() {
 		triples = flag.Int64("t", 0, "triple count limit (one of -t or -y is required)")
 		endYear = flag.Int("y", 0, "simulate up to this year (inclusive)")
 		out     = flag.String("o", "", "output file (default stdout)")
+		format  = flag.String("format", "", "output format: nt or snapshot (default: snapshot when -o ends in "+snapshot.Ext+", else nt)")
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		stats   = flag.Bool("stats", false, "print document statistics to stderr")
 	)
@@ -34,6 +47,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	var asSnapshot bool
+	switch *format {
+	case "nt":
+	case "snapshot":
+		asSnapshot = true
+	case "":
+		asSnapshot = strings.HasSuffix(*out, snapshot.Ext)
+	default:
+		fatal(fmt.Errorf("unknown format %q (want nt or snapshot)", *format))
+	}
 
 	p := gen.Params{
 		Seed:                     *seed,
@@ -43,7 +66,7 @@ func main() {
 		TargetedCitationFraction: 0.5,
 	}
 
-	var w *os.File = os.Stdout
+	var w io.Writer = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
@@ -53,7 +76,15 @@ func main() {
 		w = f
 	}
 
-	st, err := core.Generate(w, p)
+	var (
+		st  *gen.Stats
+		err error
+	)
+	if asSnapshot {
+		st, err = core.GenerateSnapshot(w, p)
+	} else {
+		st, err = core.Generate(w, p)
+	}
 	if err != nil {
 		fatal(err)
 	}

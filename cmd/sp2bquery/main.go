@@ -4,10 +4,16 @@
 // Usage:
 //
 //	sp2bquery -d doc.nt -id q8                  # run benchmark query Q8
+//	sp2bquery -d doc.sp2b -id q8                # same, from a binary snapshot
 //	sp2bquery -d doc.nt -q my.sparql            # run a query from a file
 //	sp2bquery -d doc.nt -id q4 -engine mem      # use the in-memory engine
 //	sp2bquery -d doc.nt -id q2 -count           # print only the count
 //	sp2bquery -d doc.nt -id q1 -format json     # SPARQL JSON results
+//
+// The -d input may be N-Triples text or an .sp2b snapshot written by
+// sp2bgen -o doc.sp2b; the format is auto-detected by magic bytes, and
+// snapshots load without re-parsing or re-sorting — worth it whenever
+// the same document is queried more than once.
 //
 // SELECT/ASK results are emitted in any of the standard result formats
 // (-format json|xml|csv|tsv) or as a human-readable table (the
@@ -30,7 +36,7 @@ import (
 
 func main() {
 	var (
-		data      = flag.String("d", "", "N-Triples document (required)")
+		data      = flag.String("d", "", "document to load: N-Triples or .sp2b snapshot (required)")
 		queryFile = flag.String("q", "", "file containing a SPARQL query")
 		queryID   = flag.String("id", "", "benchmark query id (q1..q12c)")
 		engName   = flag.String("engine", "native", "engine: native or mem")

@@ -6,13 +6,21 @@
 // Usage:
 //
 //	sp2bserve -d doc.nt                          # serve doc.nt on :8080
+//	sp2bserve -d doc.sp2b                        # serve a binary snapshot (auto-detected)
 //	sp2bserve -gen 50000                         # generate 50k triples in memory and serve them
 //	sp2bserve -d doc.nt -addr :9090 -engine mem  # in-memory engine family
 //	sp2bserve -d doc.nt -timeout 30s -max-concurrent 16
 //
+// The -d input may be N-Triples text or an .sp2b snapshot (written by
+// sp2bgen -o doc.sp2b); the format is sniffed from the magic bytes, and
+// snapshots skip parsing and index construction entirely — the
+// difference between seconds and milliseconds of startup at benchmark
+// scales.
+//
 // The query operation is served on / and /sparql (GET ?query=, POST
 // form, POST application/sparql-query); /healthz answers liveness
-// probes. SIGINT/SIGTERM drain in-flight queries before exit.
+// probes and /stats reports the store footprint as JSON. SIGINT/SIGTERM
+// drain in-flight queries before exit.
 package main
 
 import (
@@ -32,13 +40,14 @@ import (
 	"sp2bench/internal/engine"
 	"sp2bench/internal/gen"
 	"sp2bench/internal/server"
+	"sp2bench/internal/snapshot"
 	"sp2bench/internal/store"
 )
 
 func main() {
 	var (
 		addr    = flag.String("addr", ":8080", "listen address")
-		data    = flag.String("d", "", "N-Triples document to serve")
+		data    = flag.String("d", "", "document to serve: N-Triples or .sp2b snapshot")
 		genSize = flag.Int64("gen", 0, "generate a document of this many triples instead of loading one")
 		engName = flag.String("engine", "native", "engine: native or mem")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-query evaluation limit (0 = none)")
@@ -84,6 +93,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", h)
 	mux.Handle("/sparql", h)
+	mux.Handle("/stats", server.StatsHandler(st))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -93,7 +103,8 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sp2bserve: %d triples, %s engine, listening on %s\n", st.Len(), *engName, *addr)
+	fmt.Fprintf(os.Stderr, "sp2bserve: store footprint: %s\n", st.Footprint())
+	fmt.Fprintf(os.Stderr, "sp2bserve: %s engine, listening on %s\n", *engName, *addr)
 
 	select {
 	case err := <-errc:
@@ -108,40 +119,28 @@ func main() {
 	}
 }
 
-// loadStore builds the store from a document file or, with -gen, from
-// an in-memory generator run (handy for smoke tests and demos: no file
+// loadStore builds the store from a document file (N-Triples or .sp2b
+// snapshot, auto-detected by magic bytes) or, with -gen, from an
+// in-memory generator run (handy for smoke tests and demos: no file
 // ever touches disk).
 func loadStore(path string, genSize int64, seed uint64) (*store.Store, error) {
-	st := store.New()
 	start := time.Now()
 	if path != "" {
-		f, err := os.Open(path)
+		st, isSnap, _, err := snapshot.OpenStoreFile(path)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		if _, err := st.Load(f); err != nil {
-			return nil, err
+		source := "ntriples"
+		if isSnap {
+			source = "snapshot"
 		}
-		fmt.Fprintf(os.Stderr, "sp2bserve: loaded %s in %v\n", path, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "sp2bserve: loaded %s (%s) in %v\n", path, source, time.Since(start).Round(time.Millisecond))
 		return st, nil
 	}
 	p := gen.DefaultParams(genSize)
 	p.Seed = seed
-	pr, pw := io.Pipe()
-	done := make(chan error, 1)
-	go func() {
-		g, err := gen.New(p, pw)
-		if err == nil {
-			_, err = g.Generate()
-		}
-		pw.CloseWithError(err)
-		done <- err
-	}()
-	if _, err := st.Load(pr); err != nil {
-		return nil, err
-	}
-	if err := <-done; err != nil {
+	st, _, err := core.GenerateStore(p)
+	if err != nil {
 		return nil, err
 	}
 	fmt.Fprintf(os.Stderr, "sp2bserve: generated %d triples in %v\n", st.Len(), time.Since(start).Round(time.Millisecond))

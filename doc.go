@@ -15,6 +15,13 @@
 // Executor abstraction lets the measurement pipeline benchmark a remote
 // endpoint exactly as it benchmarks the built-in engines.
 //
+// Cold starts are a first-class concern at benchmark scales:
+// internal/store parses N-Triples in parallel across GOMAXPROCS
+// workers, and internal/snapshot persists a frozen store in the binary
+// .sp2b format — front-coded dictionary, delta-encoded pre-sorted
+// indexes, CRC-checked — which every tool auto-detects and reloads
+// without re-parsing, re-interning or re-sorting.
+//
 // The implementation lives under internal/; cmd/ holds the sp2bgen,
 // sp2bquery, sp2bbench and sp2bserve executables; examples/ holds
 // runnable walk-throughs; bench_test.go regenerates every table and

@@ -24,6 +24,7 @@ import (
 	"sp2bench/internal/harness"
 	"sp2bench/internal/queries"
 	"sp2bench/internal/rdf"
+	"sp2bench/internal/snapshot"
 	"sp2bench/internal/sparql"
 	"sp2bench/internal/store"
 )
@@ -82,16 +83,18 @@ func Open(st *store.Store, opts engine.Options) *DB {
 	return &DB{store: st, engine: engine.New(st, opts)}
 }
 
-// OpenReader loads an N-Triples document from r.
+// OpenReader loads a document from r, auto-detecting binary snapshot
+// (.sp2b) versus N-Triples input by the snapshot magic bytes.
 func OpenReader(r io.Reader, opts engine.Options) (*DB, error) {
-	st := store.New()
-	if _, err := st.Load(r); err != nil {
+	st, _, _, err := snapshot.OpenStore(r)
+	if err != nil {
 		return nil, err
 	}
 	return Open(st, opts), nil
 }
 
-// OpenFile loads an N-Triples document from path.
+// OpenFile loads a document (N-Triples or snapshot, auto-detected) from
+// path.
 func OpenFile(path string, opts engine.Options) (*DB, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -99,6 +102,61 @@ func OpenFile(path string, opts engine.Options) (*DB, error) {
 	}
 	defer f.Close()
 	return OpenReader(f, opts)
+}
+
+// GenerateStore streams a generator run straight into a frozen store —
+// no intermediate document — and returns the store alongside the
+// generation statistics. It is the builder behind snapshot emission and
+// sp2bserve -gen.
+func GenerateStore(p gen.Params) (*store.Store, *gen.Stats, error) {
+	st := store.New()
+	pr, pw := io.Pipe()
+	done := make(chan struct{})
+	var stats *gen.Stats
+	go func() {
+		defer close(done)
+		g, err := gen.New(p, pw)
+		if err == nil {
+			stats, err = g.Generate()
+		}
+		pw.CloseWithError(err)
+	}()
+	if _, err := st.Load(pr); err != nil {
+		pr.CloseWithError(err) // unblock the generator if the load side failed
+		<-done
+		return nil, nil, err
+	}
+	<-done
+	return st, stats, nil
+}
+
+// GenerateSnapshot generates a document per p and writes it to w in the
+// binary snapshot format (see internal/snapshot), returning the
+// generation statistics. A snapshot loads without re-parsing,
+// re-interning or re-sorting, so it is the format of choice for data
+// that will be loaded more than once.
+func GenerateSnapshot(w io.Writer, p gen.Params) (*gen.Stats, error) {
+	st, stats, err := GenerateStore(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := snapshot.Write(w, st); err != nil {
+		return nil, err
+	}
+	return stats, nil
+}
+
+// GenerateSnapshotFile writes a snapshot to path.
+func GenerateSnapshotFile(path string, p gen.Params) (*gen.Stats, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := GenerateSnapshot(f, p)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return stats, err
 }
 
 // Store exposes the underlying triple store.

@@ -8,6 +8,8 @@ package harness
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -24,7 +26,7 @@ import (
 	"sp2bench/internal/engine"
 	"sp2bench/internal/gen"
 	"sp2bench/internal/queries"
-	"sp2bench/internal/rdf"
+	"sp2bench/internal/snapshot"
 	"sp2bench/internal/store"
 )
 
@@ -179,6 +181,11 @@ type LoadStats struct {
 	Engine  string
 	Wall    time.Duration
 	Triples int
+	// Source names the loaded representation: "ntriples" for a text
+	// parse (plus index construction for index-using engines) or
+	// "snapshot" when a cached binary snapshot was reloaded — the
+	// cold-start fast path this column makes visible.
+	Source string
 }
 
 // Config tunes the benchmark protocol.
@@ -214,7 +221,13 @@ type Config struct {
 	Endpoint string
 	// Seed feeds the generator.
 	Seed uint64
-	// WorkDir caches generated documents between runs ("" = temp dir).
+	// WorkDir, when set, holds the generated documents and enables the
+	// cross-run cache: each document gets a probe-validated manifest
+	// (generation stats, measured parse time) and a binary .sp2b
+	// snapshot, so later runs skip generation and reload the frozen
+	// store directly. Empty means a temp directory with caching off —
+	// default invocations always regenerate and re-measure, keeping the
+	// paper's loading table independent of hidden machine state.
 	WorkDir string
 	// Progress, when non-nil, receives one line per completed cell.
 	Progress io.Writer
@@ -247,12 +260,18 @@ type Report struct {
 	PerClient []QueryRun
 	// Mixes summarizes each concurrent (engine, scale) drive.
 	Mixes []MixStats
+	// Footprints records each loaded store's memory footprint by scale
+	// (the sp2bbench -stats report), and Sources the representation each
+	// scale's store was actually built from ("ntriples" or "snapshot").
+	Footprints map[string]store.Footprint
+	Sources    map[string]string
 }
 
 // Runner executes the benchmark protocol.
 type Runner struct {
-	cfg  Config
-	docs map[string]string // scale name -> document path
+	cfg       Config
+	docs      map[string]string       // scale name -> document path
+	manifests map[string]*docManifest // scale name -> validated cache record
 }
 
 // NewRunner validates the configuration.
@@ -274,7 +293,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 1
 	}
-	return &Runner{cfg: cfg, docs: map[string]string{}}, nil
+	return &Runner{cfg: cfg, docs: map[string]string{}, manifests: map[string]*docManifest{}}, nil
 }
 
 func (r *Runner) progressf(format string, args ...any) {
@@ -283,8 +302,99 @@ func (r *Runner) progressf(format string, args ...any) {
 	}
 }
 
+// docManifest is the per-document cache record written next to each
+// generated document (atomically, see writeFileAtomic). It is what
+// lets later runs skip generation, parsing and sorting while staying
+// honest: Probe fingerprints the generator's current behavior, Stats
+// and GenNS preserve what the renderers need, and ParseNS preserves
+// the measured text parse so the ChargeLoadToMem surcharge does not
+// depend on cache state.
+type docManifest struct {
+	// Probe is the SHA-256 of a small (probeTriples) document generated
+	// with this run's seed. Generation is incremental — a smaller
+	// triple limit yields a byte-prefix of a larger document — so the
+	// probe is literally a prefix of every cached document with this
+	// seed, and any generator change invalidates the whole cache.
+	Probe    string        `json:"probe_sha256"`
+	DocBytes int64         `json:"doc_bytes"`
+	// TripleLimit is the requested document size; the probe cannot see
+	// it (it fingerprints a fixed-size prefix), so reuse must also
+	// check that the cached document was generated for the same limit.
+	TripleLimit int64         `json:"triple_limit"`
+	GenNS       time.Duration `json:"gen_ns"`
+	// ParseNS is the measured N-Triples parse time; 0 until load() has
+	// parsed the text once.
+	ParseNS time.Duration `json:"parse_ns,omitempty"`
+	Stats   *gen.Stats    `json:"stats"`
+}
+
+// probeTriples sizes the generator fingerprint document; ~milliseconds
+// to produce.
+const probeTriples = 2_000
+
+func probeHash(seed uint64) (string, error) {
+	p := gen.DefaultParams(probeTriples)
+	p.Seed = seed
+	h := sha256.New()
+	g, err := gen.New(p, h)
+	if err != nil {
+		return "", err
+	}
+	if _, err := g.Generate(); err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), nil
+}
+
+const manifestExt = ".manifest.json"
+
+func readManifest(path string) (*docManifest, bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var m docManifest
+	if err := json.Unmarshal(b, &m); err != nil || m.Stats == nil {
+		return nil, false
+	}
+	return &m, true
+}
+
+// writeManifest persists m atomically so parallel runs sharing a work
+// directory never observe a torn record. It is a no-op when caching is
+// disabled.
+func (r *Runner) writeManifest(sc Scale, m *docManifest) {
+	if !r.cacheEnabled() {
+		return
+	}
+	b, err := json.Marshal(m)
+	if err == nil {
+		err = snapshot.WriteAtomic(r.docs[sc.Name]+manifestExt, func(w io.Writer) error {
+			_, werr := w.Write(b)
+			return werr
+		})
+	}
+	if err != nil {
+		r.progressf("could not write manifest for %s: %v\n", sc.Name, err)
+	}
+}
+
+// cacheEnabled reports whether cross-run document/snapshot caching is
+// active. It requires an explicitly configured WorkDir: with the
+// implicit shared temp directory, a repeated default invocation would
+// silently report snapshot-reload times in the paper's loading table
+// based on hidden machine state — default runs must stay
+// cache-independent and reproducible.
+func (r *Runner) cacheEnabled() bool { return r.cfg.WorkDir != "" }
+
 // Documents generates (or reuses) the benchmark documents and returns
-// their paths, recording generation time and stats into the report.
+// their paths, recording generation time and stats into the report. A
+// document is reused only when caching is enabled (explicit WorkDir),
+// its manifest's probe hash matches the generator's current output for
+// this seed, and the file size matches — so a repo update that changes
+// generated data can never serve stale benchmark input, while
+// unchanged generators skip the (dominant at 5M/25M scales) generation
+// cost entirely.
 func (r *Runner) Documents(rep *Report) error {
 	dir := r.cfg.WorkDir
 	if dir == "" {
@@ -297,31 +407,55 @@ func (r *Runner) Documents(rep *Report) error {
 		rep.GenStats = map[string]*gen.Stats{}
 		rep.GenTime = map[string]time.Duration{}
 	}
+	probe := ""
+	if r.cacheEnabled() {
+		var err error
+		if probe, err = probeHash(r.cfg.Seed); err != nil {
+			return fmt.Errorf("harness: generator probe: %w", err)
+		}
+	}
 	for _, sc := range r.cfg.Scales {
 		path := filepath.Join(dir, fmt.Sprintf("sp2b-%s-seed%d.nt", sc.Name, r.cfg.Seed))
-		f, err := os.Create(path)
-		if err != nil {
+		r.docs[sc.Name] = path
+		if r.cacheEnabled() {
+			if m, ok := readManifest(path + manifestExt); ok && m.Probe == probe && m.TripleLimit == sc.Triples {
+				if fi, err := os.Stat(path); err == nil && fi.Size() == m.DocBytes {
+					rep.GenStats[sc.Name] = m.Stats
+					rep.GenTime[sc.Name] = m.GenNS
+					r.manifests[sc.Name] = m
+					r.progressf("reusing cached %s: %d triples (generated in %v on first run)\n",
+						sc.Name, m.Stats.Triples, m.GenNS)
+					continue
+				}
+			}
+		}
+		var (
+			stats   *gen.Stats
+			elapsed time.Duration
+		)
+		// The document is written via a temp sibling + rename: parallel
+		// cold-cache runs sharing the directory must never interleave
+		// generator output into one file.
+		err := snapshot.WriteAtomic(path, func(w io.Writer) error {
+			p := gen.DefaultParams(sc.Triples)
+			p.Seed = r.cfg.Seed
+			g, err := gen.New(p, w)
+			if err != nil {
+				return err
+			}
+			start := time.Now()
+			stats, err = g.Generate()
+			elapsed = time.Since(start)
 			return err
-		}
-		p := gen.DefaultParams(sc.Triples)
-		p.Seed = r.cfg.Seed
-		g, err := gen.New(p, f)
-		if err != nil {
-			f.Close()
-			return err
-		}
-		start := time.Now()
-		stats, err := g.Generate()
-		elapsed := time.Since(start)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
+		})
 		if err != nil {
 			return fmt.Errorf("harness: generating %s: %w", sc.Name, err)
 		}
 		rep.GenStats[sc.Name] = stats
 		rep.GenTime[sc.Name] = elapsed
-		r.docs[sc.Name] = path
+		m := &docManifest{Probe: probe, DocBytes: stats.Bytes, TripleLimit: sc.Triples, GenNS: elapsed, Stats: stats}
+		r.manifests[sc.Name] = m
+		r.writeManifest(sc, m)
 		r.progressf("generated %s: %d triples in %v\n", sc.Name, stats.Triples, elapsed)
 	}
 	return nil
@@ -339,19 +473,30 @@ func (r *Runner) Run() (*Report, error) {
 		return nil, err
 	}
 	qs := r.querySet()
+	rep.Footprints = map[string]store.Footprint{}
+	rep.Sources = map[string]string{}
 	for _, sc := range r.cfg.Scales {
-		st, parseTime, freezeTime, err := r.load(sc)
+		lr, err := r.load(sc)
 		if err != nil {
 			return nil, err
 		}
+		st := lr.store
+		rep.Footprints[sc.Name] = st.Footprint()
+		rep.Sources[sc.Name] = lr.source
+		r.progressf("loaded %s from %s in %v (%s)\n",
+			sc.Name, lr.source, (lr.parse + lr.freeze).Round(time.Millisecond), st.Footprint())
 		for _, es := range r.cfg.Engines {
 			es := es
-			loadWall := parseTime
+			// Index-using engines pay what this run actually paid
+			// (snapshot reload on a cache hit); index-free engines are
+			// modeled as re-parsing the text per query, so their column
+			// always shows the text parse time regardless of cache state.
+			loadWall := lr.textParse
 			if es.Opts.UseIndexes {
-				loadWall += freezeTime
+				loadWall = lr.parse + lr.freeze
 			}
 			rep.Loading = append(rep.Loading, LoadStats{
-				Scale: sc.Name, Engine: es.Name, Wall: loadWall, Triples: st.Len(),
+				Scale: sc.Name, Engine: es.Name, Wall: loadWall, Triples: st.Len(), Source: source(es, lr),
 			})
 			// In-memory engines re-parse the document per query when
 			// ChargeLoadToMem is set, mirroring engines without a
@@ -360,10 +505,20 @@ func (r *Runner) Run() (*Report, error) {
 			factory := func() Executor {
 				return newEngineExecutor(es.Name, engine.New(st, es.Opts))
 			}
-			r.drive(rep, factory, sc, qs, parseTime, charge)
+			r.drive(rep, factory, sc, qs, lr.textParse, charge)
 		}
 	}
 	return rep, nil
+}
+
+// source labels one engine's LoadStats row: index-free engines are
+// modeled on the text representation even when this run took the
+// snapshot fast path.
+func source(es EngineSpec, lr loadResult) string {
+	if es.Opts.UseIndexes {
+		return lr.source
+	}
+	return "ntriples"
 }
 
 // runEndpoint executes the protocol against Config.Endpoint. The single
@@ -411,33 +566,67 @@ func (r *Runner) querySet() []queries.Query {
 	return out
 }
 
-// load parses a document and freezes the store, reporting the two phases
-// separately (in-memory engines pay only the parse, native engines pay
-// parse plus index construction).
-func (r *Runner) load(sc Scale) (*store.Store, time.Duration, time.Duration, error) {
+// loadResult is what building one scale's store yielded. parse and
+// freeze are the phases this run actually paid (for a snapshot hit:
+// the reload as parse, zero freeze — the format stores the sorted
+// indexes, so no index-construction phase is left). textParse is the
+// measured N-Triples parse time, recorded alongside the snapshot cache
+// so that the ChargeLoadToMem surcharge and the in-memory engines'
+// loading rows stay the same whether or not this particular run hit
+// the cache — benchmark tables must not depend on cache state.
+type loadResult struct {
+	store     *store.Store
+	parse     time.Duration
+	freeze    time.Duration
+	textParse time.Duration
+	source    string
+}
+
+// load builds the store for one scale. A binary snapshot cached next
+// to the document is preferred — but only when Documents validated the
+// scale's manifest this run (generator probe and document size match)
+// and the manifest carries a measured parse time, so a hit is known to
+// hold the same graph a re-parse would produce and the surcharge
+// semantics never depend on cache state. On any miss the text is
+// parsed, and the snapshot plus the parse measurement are recorded for
+// the next run.
+func (r *Runner) load(sc Scale) (loadResult, error) {
+	snapPath := strings.TrimSuffix(r.docs[sc.Name], ".nt") + snapshot.Ext
+	m := r.manifests[sc.Name]
+	if r.cacheEnabled() && m != nil && m.ParseNS > 0 {
+		start := time.Now()
+		st, err := snapshot.ReadFile(snapPath)
+		if err == nil {
+			return loadResult{store: st, parse: time.Since(start), textParse: m.ParseNS, source: "snapshot"}, nil
+		}
+		r.progressf("snapshot cache %s unreadable (%v); re-parsing\n", snapPath, err)
+	}
+
 	f, err := os.Open(r.docs[sc.Name])
 	if err != nil {
-		return nil, 0, 0, err
+		return loadResult{}, err
 	}
 	defer f.Close()
 	st := store.New()
 	start := time.Now()
-	nr := rdf.NewReader(f)
-	for {
-		t, err := nr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		st.Add(t)
+	if _, err := st.Ingest(f); err != nil {
+		return loadResult{}, err
 	}
 	parse := time.Since(start)
 	start = time.Now()
 	st.Freeze()
 	freeze := time.Since(start)
-	return st, parse, freeze, nil
+	// Cache the frozen store and the parse measurement for the next
+	// run; a failure here only costs the next run its fast path.
+	if r.cacheEnabled() {
+		if err := snapshot.WriteFile(snapPath, st); err != nil {
+			r.progressf("could not cache snapshot %s: %v\n", snapPath, err)
+		} else if m != nil {
+			m.ParseNS = parse
+			r.writeManifest(sc, m)
+		}
+	}
+	return loadResult{store: st, parse: parse, freeze: freeze, textParse: parse, source: "ntriples"}, nil
 }
 
 // runCtx bundles the cancellation and instrumentation shared by the

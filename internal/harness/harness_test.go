@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -339,5 +340,93 @@ func TestChargeLoadToMem(t *testing.T) {
 	if memRun.Wall <= natRun.Wall {
 		t.Errorf("mem q1 (%v) should include load time and exceed native q1 (%v)",
 			memRun.Wall, natRun.Wall)
+	}
+}
+
+// TestSnapshotCacheAcrossRuns pins the work-directory cache contract:
+// the second run of an identical configuration reuses the generated
+// document (validated by the generator probe), reloads the binary
+// snapshot, reports the same generation stats and the same mem-engine
+// surcharge base (textParse survives via the manifest), and returns
+// identical per-query counts.
+func TestSnapshotCacheAcrossRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scales = []Scale{{"10k", 10_000}}
+	cfg.Engines = DefaultEngines()
+	cfg.Timeout = 30 * time.Second
+	cfg.QueryIDs = fastQueries
+	cfg.WorkDir = t.TempDir()
+
+	run := func() *Report {
+		r, err := NewRunner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := r.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep.SortRuns()
+		return rep
+	}
+	first := run()
+	second := run()
+
+	if got := first.Sources["10k"]; got != "ntriples" {
+		t.Errorf("first run source = %q, want ntriples", got)
+	}
+	if got := second.Sources["10k"]; got != "snapshot" {
+		t.Errorf("second run source = %q, want snapshot", got)
+	}
+	if first.GenStats["10k"].Triples != second.GenStats["10k"].Triples ||
+		first.GenStats["10k"].EndYear != second.GenStats["10k"].EndYear {
+		t.Errorf("cached generation stats diverge: %+v vs %+v",
+			first.GenStats["10k"], second.GenStats["10k"])
+	}
+	// The mem engine's loading row must not depend on cache state: it
+	// models per-query text re-parsing, so both runs report the
+	// recorded text parse, labeled ntriples.
+	for _, rep := range []*Report{first, second} {
+		for _, l := range rep.Loading {
+			if l.Engine == "mem" && l.Source != "ntriples" {
+				t.Errorf("mem loading row labeled %q, want ntriples", l.Source)
+			}
+		}
+	}
+	memWall := func(rep *Report) time.Duration {
+		for _, l := range rep.Loading {
+			if l.Engine == "mem" {
+				return l.Wall
+			}
+		}
+		t.Fatal("no mem loading row")
+		return 0
+	}
+	if memWall(first) != memWall(second) {
+		t.Errorf("mem surcharge base changed across runs: %v vs %v", memWall(first), memWall(second))
+	}
+	for i := range first.Runs {
+		a, b := first.Runs[i], second.Runs[i]
+		if a.Query != b.Query || a.Results != b.Results {
+			t.Errorf("query %s: counts diverge across cache hit (%d vs %d)", a.Query, a.Results, b.Results)
+		}
+	}
+
+	// A generator change (simulated by corrupting the probe) must
+	// invalidate the cache and regenerate.
+	docs, err := filepath.Glob(filepath.Join(cfg.WorkDir, "*"+manifestExt))
+	if err != nil || len(docs) != 1 {
+		t.Fatalf("manifest glob: %v %v", docs, err)
+	}
+	b, err := os.ReadFile(docs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(docs[0], bytes.Replace(b, []byte(`"probe_sha256":"`), []byte(`"probe_sha256":"dead`), 1), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	third := run()
+	if got := third.Sources["10k"]; got != "ntriples" {
+		t.Errorf("probe-invalidated run source = %q, want ntriples (regeneration)", got)
 	}
 }

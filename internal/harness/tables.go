@@ -163,9 +163,30 @@ func (rep *Report) RenderMeans(w io.Writer, engines ...string) {
 // Figure 5).
 func (rep *Report) RenderLoading(w io.Writer) {
 	fmt.Fprintln(w, "Figure 5 (loading): document load times")
-	fmt.Fprintf(w, "%-18s %-7s %12s %12s\n", "engine", "scale", "triples", "tme [s]")
+	fmt.Fprintf(w, "%-18s %-7s %12s %12s  %s\n", "engine", "scale", "triples", "tme [s]", "source")
 	for _, l := range rep.Loading {
-		fmt.Fprintf(w, "%-18s %-7s %12d %12.3f\n", l.Engine, l.Scale, l.Triples, l.Wall.Seconds())
+		fmt.Fprintf(w, "%-18s %-7s %12d %12.3f  %s\n", l.Engine, l.Scale, l.Triples, l.Wall.Seconds(), l.Source)
+	}
+}
+
+// RenderFootprints writes the per-scale store footprint table behind
+// sp2bbench -stats: triples, dictionary terms, and approximate index
+// and term-data bytes, plus the source each scale was loaded from.
+func (rep *Report) RenderFootprints(w io.Writer) {
+	if len(rep.Footprints) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Store footprint")
+	fmt.Fprintf(w, "%-7s %12s %12s %14s %14s  %s\n",
+		"scale", "triples", "terms", "index [MiB]", "terms [MiB]", "source")
+	for _, sc := range reportScales(rep) {
+		f, ok := rep.Footprints[sc.Name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-7s %12d %12d %14.1f %14.1f  %s\n",
+			sc.Name, f.Triples, f.Terms,
+			float64(f.IndexBytes)/(1<<20), float64(f.TermBytes)/(1<<20), rep.Sources[sc.Name])
 	}
 }
 

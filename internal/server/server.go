@@ -10,6 +10,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 	"sp2bench/internal/rdf"
 	"sp2bench/internal/results"
 	"sp2bench/internal/sparql"
+	"sp2bench/internal/store"
 )
 
 // maxQueryBytes bounds request bodies; benchmark queries are under a
@@ -51,6 +53,30 @@ type Config struct {
 type Server struct {
 	cfg Config
 	sem chan struct{}
+}
+
+// StatsHandler serves a small JSON document describing a store's
+// footprint (triples, dictionary terms, approximate index and term
+// bytes) — the observability endpoint sp2bserve mounts at /stats so
+// deployments can see what a process holds without grepping its logs.
+func StatsHandler(st *store.Store) http.Handler {
+	// The store is immutable once served, and Footprint walks the whole
+	// dictionary — compute the document once, not per request.
+	f := st.Footprint()
+	body, err := json.Marshal(struct {
+		Triples    int   `json:"triples"`
+		Terms      int   `json:"terms"`
+		IndexBytes int64 `json:"index_bytes"`
+		TermBytes  int64 `json:"term_bytes"`
+	}{f.Triples, f.Terms, f.IndexBytes, f.TermBytes})
+	if err != nil { // static struct of integers; cannot happen
+		panic(err)
+	}
+	body = append(body, '\n')
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	})
 }
 
 // New validates the configuration and returns the handler.

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -298,5 +299,33 @@ func TestNegotiate(t *testing.T) {
 		if ok != c.ok || (ok && got != c.want) {
 			t.Errorf("negotiate(%q) = (%v, %v), want (%v, %v)", c.accept, got, ok, c.want, c.ok)
 		}
+	}
+}
+
+func TestStatsHandler(t *testing.T) {
+	st := store.New()
+	st.Add(rdf.NewTriple(rdf.IRI("http://example.org/a"), rdf.IRI("http://example.org/p"), rdf.String("v")))
+	st.Freeze()
+	ts := httptest.NewServer(StatsHandler(st))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var got struct {
+		Triples    int   `json:"triples"`
+		Terms      int   `json:"terms"`
+		IndexBytes int64 `json:"index_bytes"`
+		TermBytes  int64 `json:"term_bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Triples != 1 || got.Terms != 3 || got.IndexBytes == 0 || got.TermBytes == 0 {
+		t.Fatalf("stats = %+v", got)
 	}
 }

@@ -67,3 +67,24 @@ func (d *Dict) Term(id ID) rdf.Term {
 
 // Len returns the number of interned terms.
 func (d *Dict) Len() int { return len(d.terms) }
+
+// Terms exposes the interned terms in ID order: Terms()[i] is the term
+// with ID i+1. The returned slice is the dictionary's backing storage;
+// callers must not mutate it. The snapshot writer serializes it.
+func (d *Dict) Terms() []rdf.Term { return d.terms }
+
+// NewDictFromTerms rebuilds a dictionary from a Terms()-shaped slice,
+// assigning term i the ID i+1 — the inverse of Terms, used by the
+// snapshot loader to rehydrate a dictionary without re-interning.
+// Duplicate terms indicate a corrupt input and return an error. The
+// dictionary takes ownership of the slice.
+func NewDictFromTerms(terms []rdf.Term) (*Dict, error) {
+	d := &Dict{ids: make(map[rdf.Term]ID, 2*len(terms)), terms: terms}
+	for i, t := range terms {
+		if _, dup := d.ids[t]; dup {
+			return nil, fmt.Errorf("store: duplicate dictionary term %s", t)
+		}
+		d.ids[t] = ID(i + 1)
+	}
+	return d, nil
+}
