@@ -13,9 +13,34 @@
 //	sp2bbench -endpoint http://host:8080/sparql -clients 4
 //	                                         # benchmark a remote SPARQL endpoint
 //	sp2bbench -workdir cache -stats          # cache docs + snapshots, print footprints
+//	sp2bbench -mix lookup-heavy -clients 8 -duration 30s
+//	                                         # closed-loop workload scenario
+//	sp2bbench -mix mixed-update -rate 200 -duration 30s -report out.json
+//	                                         # open-loop (Poisson 200 QPS) incl. updates,
+//	                                         # machine-readable JSON report
+//	sp2bbench -report out.json -baseline prev.json -threshold 1.5
+//	                                         # regression gate against a prior report
 //
 // Experiments: all, table3, table4, table5, table6, table7, table8,
 // table9, fig2a, fig2b, fig2c, figures, loading, ablation, shapes.
+//
+// Workload mode (-mix) replaces the paper's per-query sweep with the
+// scenario engine: a named weighted mix (uniform, lookup-heavy,
+// join-heavy, mixed-update — or an inline "q1:9,update:1" spec) drives
+// the store closed-loop (-clients N) or open-loop (-rate QPS, Poisson
+// arrivals, latency measured from scheduled arrival so queueing delay
+// counts). Scenario runs default to the native engine at 10k scale;
+// pass -scales explicitly for more. The mixed-update mix needs the
+// update path: in-process stores apply yearly generator deltas under a
+// write lock, remote endpoints take them via POST /update (sp2bserve
+// -updates).
+//
+// -report writes the full run as a schema-versioned JSON document
+// (per-cell runs, arithmetic and geometric means per the paper's §VI
+// rules, workload time series, environment metadata). -baseline
+// compares the run's per-query geometric means against a prior report
+// and exits non-zero when any key slows past -threshold (or newly
+// fails); -baseline-warn reports without failing.
 //
 // The harness caches each generated document plus a binary .sp2b
 // snapshot in -workdir: the first run pays generation, the N-Triples
@@ -59,6 +84,16 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		showStats  = flag.Bool("stats", false, "print the per-scale store footprint (triples, terms, index bytes) after the run")
 		figdata    = flag.String("figdata", "", "also write gnuplot-ready per-query .dat files into this directory")
+
+		mixName  = flag.String("mix", "", "workload scenario mode: drive this query mix (uniform, lookup-heavy, join-heavy, mixed-update, or inline \"q1:9,update:1\") instead of the per-query sweep")
+		rate     = flag.Float64("rate", 0, "open-loop Poisson arrival rate in ops/sec for -mix (0 = closed loop with -clients workers)")
+		duration = flag.Duration("duration", 30*time.Second, "measured window of a -mix scenario")
+		warmup   = flag.Duration("warmup", 2*time.Second, "unrecorded warmup before a -mix scenario's measured window")
+
+		reportPath   = flag.String("report", "", "write the run as a schema-versioned JSON report to this file")
+		baselinePath = flag.String("baseline", "", "compare per-query geometric means against this prior JSON report and exit non-zero on regression")
+		threshold    = flag.Float64("threshold", 1.5, "regression ratio for -baseline (1.5 = fifty percent slower fails)")
+		baselineWarn = flag.Bool("baseline-warn", false, "report -baseline regressions without failing (exit 0)")
 	)
 	flag.Parse()
 
@@ -84,11 +119,25 @@ func main() {
 			cfg.QueryIDs = append(cfg.QueryIDs, id)
 		}
 	}
+	if *mixName != "" {
+		cfg.Mix = *mixName
+		cfg.Rate = *rate
+		cfg.WorkloadWarmup = *warmup
+		cfg.WorkloadDuration = *duration
+		// The -clients default of 1 means "sequential" in sweep mode; a
+		// scenario drive distinguishes "not set" (0: mode default — one
+		// closed-loop worker, or a wide open-loop dispatch pool) from an
+		// explicit -clients 1, which is honored in both modes.
+		if !flagWasSet("clients") {
+			cfg.Clients = 0
+		}
+	}
+	gate := baselineGate{report: *reportPath, baseline: *baselinePath, threshold: *threshold, warn: *baselineWarn}
 	if *endpoint != "" {
 		if *showStats {
 			fmt.Fprintln(os.Stderr, "sp2bbench: -stats has no effect with -endpoint (no local store is loaded)")
 		}
-		runEndpoint(cfg, *endpoint)
+		runEndpoint(cfg, *endpoint, gate)
 		return
 	}
 	var err error
@@ -96,11 +145,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if cfg.Mix != "" {
+		runWorkload(cfg, flagWasSet("scales"), gate, *showStats)
+		return
+	}
 
 	switch *experiment {
 	case "fig2a", "fig2b", "fig2c", "table9":
 		if *showStats {
 			fmt.Fprintln(os.Stderr, "sp2bbench: -stats has no effect for generator experiments (no store is loaded)")
+		}
+		if gate.report != "" || gate.baseline != "" {
+			fmt.Fprintln(os.Stderr, "sp2bbench: -report/-baseline have no effect for generator experiments (no query measurements are taken)")
 		}
 		stats, err := harness.GeneratorExperiment(*genSize, *seed)
 		if err != nil {
@@ -170,6 +226,9 @@ func main() {
 			for _, s := range v {
 				fmt.Printf("%s @ %s: %s\n", s.Query, s.Scale, s.Msg)
 			}
+			// A violating run is exactly the one worth archiving: write
+			// the report (and comparison) before the failing exit.
+			gate.finish(rep)
 			os.Exit(1)
 		}
 		fmt.Println("all paper shape expectations hold")
@@ -187,13 +246,64 @@ func main() {
 		fmt.Println()
 		rep.RenderFootprints(os.Stdout)
 	}
+	gate.finish(rep)
+}
+
+// flagWasSet reports whether the named flag was given explicitly.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runWorkload drives the scenario engine locally. Without an explicit
+// -scales, scenarios run the native engine at 10k only — a mix runs
+// for a wall-clock duration per (engine, scale), so the sweep default
+// of four scales times two engines would multiply a 30s scenario into
+// minutes the user did not ask for.
+func runWorkload(cfg harness.Config, scalesExplicit bool, gate baselineGate, showStats bool) {
+	if !scalesExplicit {
+		cfg.Scales = cfg.Scales[:1]
+	}
+	// Scenarios run the native engine only: a mix costs wall-clock time
+	// per engine, and the mem family exists for the paper's sweep
+	// comparison, not load testing. Selected by name so a reordering of
+	// DefaultEngines cannot silently swap the backend.
+	native := cfg.Engines[:0:0]
+	for _, es := range cfg.Engines {
+		if es.Name == "native" {
+			native = append(native, es)
+		}
+	}
+	if len(native) == 0 {
+		fatal(fmt.Errorf("no native engine configured for workload mode"))
+	}
+	cfg.Engines = native
+	runner, err := harness.NewRunner(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := runner.Run()
+	if err != nil {
+		fatal(err)
+	}
+	rep.RenderWorkloads(os.Stdout)
+	if showStats {
+		fmt.Println()
+		rep.RenderFootprints(os.Stdout)
+	}
+	gate.finish(rep)
 }
 
 // runEndpoint drives a remote SPARQL endpoint: the tables that need
 // local generator or loading data do not apply, so the per-query
-// results and (in concurrent mode) the throughput/latency summary are
-// rendered.
-func runEndpoint(cfg harness.Config, url string) {
+// results (or in -mix mode the scenario summary) and the concurrency
+// summary are rendered.
+func runEndpoint(cfg harness.Config, url string, gate baselineGate) {
 	cfg.Endpoint = url
 	cfg.Scales, cfg.Engines = nil, nil
 	runner, err := harness.NewRunner(cfg)
@@ -204,11 +314,60 @@ func runEndpoint(cfg harness.Config, url string) {
 	if err != nil {
 		fatal(err)
 	}
-	rep.SortRuns()
-	rep.RenderPerQuery(os.Stdout)
+	if cfg.Mix != "" {
+		rep.RenderWorkloads(os.Stdout)
+	} else {
+		rep.SortRuns()
+		rep.RenderPerQuery(os.Stdout)
+	}
 	if len(rep.Mixes) > 0 {
 		fmt.Println()
 		rep.RenderConcurrency(os.Stdout)
+	}
+	gate.finish(rep)
+}
+
+// baselineGate handles the machine-readable tail of every run: writing
+// the JSON report and comparing against a prior one.
+type baselineGate struct {
+	report    string
+	baseline  string
+	threshold float64
+	warn      bool
+}
+
+// finish writes the report and applies the regression gate, exiting
+// non-zero when a regression is found and the gate is blocking.
+func (g baselineGate) finish(rep *harness.Report) {
+	if g.report == "" && g.baseline == "" {
+		return
+	}
+	j := rep.JSONReport()
+	if g.report != "" {
+		if err := j.WriteJSONFile(g.report); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote JSON report (%s) to %s\n", harness.ReportSchema, g.report)
+	}
+	if g.baseline == "" {
+		return
+	}
+	base, err := harness.ReadJSONReportFile(g.baseline)
+	if err != nil {
+		fatal(fmt.Errorf("reading baseline: %w", err))
+	}
+	cmp, err := harness.CompareBaseline(j, base, g.threshold)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	cmp.Render(os.Stdout)
+	if cmp.Regressed() {
+		if g.warn {
+			fmt.Fprintln(os.Stderr, "sp2bbench: regressions found (warn-only mode, not failing)")
+			return
+		}
+		os.Exit(3)
 	}
 }
 

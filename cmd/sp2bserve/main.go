@@ -21,6 +21,14 @@
 // form, POST application/sparql-query); /healthz answers liveness
 // probes and /stats reports the store footprint as JSON. SIGINT/SIGTERM
 // drain in-flight queries before exit.
+//
+// With -updates the store becomes mutable: POST an application/n-triples
+// body to /update and the statements are inserted (answering
+// {"inserted": n, "triples": total}). Queries then take a read lock and
+// updates the write lock, so readers never observe a half-rebuilt
+// index; /stats recomputes the footprint per request. This is the
+// server half of the harness's mixed read/write workloads
+// (sp2bbench -mix mixed-update -endpoint ...).
 package main
 
 import (
@@ -33,6 +41,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"sync"
 	"syscall"
 	"time"
 
@@ -53,6 +62,7 @@ func main() {
 		timeout = flag.Duration("timeout", 30*time.Second, "per-query evaluation limit (0 = none)")
 		maxConc = flag.Int("max-concurrent", 2*runtime.GOMAXPROCS(0), "max in-flight queries (0 = unlimited)")
 		seed    = flag.Uint64("seed", 1, "generator seed (with -gen)")
+		updates = flag.Bool("updates", false, "serve the insert operation on POST /update (store becomes mutable)")
 		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
@@ -85,6 +95,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
+	var lock *sync.RWMutex
+	if *updates {
+		lock = &sync.RWMutex{}
+		cfg.Lock = lock
+	}
 	h, err := server.New(cfg)
 	if err != nil {
 		fatal(err)
@@ -93,7 +108,12 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", h)
 	mux.Handle("/sparql", h)
-	mux.Handle("/stats", server.StatsHandler(st))
+	if *updates {
+		mux.Handle("/update", server.UpdateHandler(st, lock, cfg.Logf))
+		mux.Handle("/stats", server.LiveStatsHandler(st, lock))
+	} else {
+		mux.Handle("/stats", server.StatsHandler(st))
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, "ok\n")
 	})

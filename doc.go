@@ -22,6 +22,20 @@
 // indexes, CRC-checked — which every tool auto-detects and reloads
 // without re-parsing, re-interning or re-sorting.
 //
+// Beyond the paper's sequential sweep, internal/workload drives named
+// weighted query mixes (internal/queries: lookup-heavy, join-heavy,
+// mixed-update including the store's insert path, or inline
+// "q1:9,update:1" specs) under two traffic models — closed-loop worker
+// pools and open-loop Poisson arrivals whose latency includes queueing
+// delay — with warmup phases, per-bucket throughput series and
+// p50/p95/p99 tails, in process or over HTTP (sp2bserve -updates
+// serves the insert operation). Every run can be written as a
+// schema-versioned JSON report carrying the paper's arithmetic and
+// geometric means, and sp2bbench -baseline diffs two reports' per-query
+// geometric means, failing past a configurable regression threshold —
+// the gate performance changes to this repo are measured through (see
+// docs/ARCHITECTURE.md and docs/QUERIES.md).
+//
 // The implementation lives under internal/; cmd/ holds the sp2bgen,
 // sp2bquery, sp2bbench and sp2bserve executables; examples/ holds
 // runnable walk-throughs; bench_test.go regenerates every table and

@@ -125,18 +125,11 @@ func (c *compiled) estimate(p sparql.TriplePattern, bound map[string]bool) float
 		}
 	}
 	if pBound && !pConst {
-		div *= float64(maxInt(1, st.DistinctPredicates()))
+		div *= float64(max(1, st.DistinctPredicates()))
 	}
 	est := base / div
 	if est < 1 {
 		est = 1
 	}
 	return est
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

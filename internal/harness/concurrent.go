@@ -4,12 +4,12 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"math"
 	"sort"
 	"sync"
 	"time"
 
 	"sp2bench/internal/queries"
+	"sp2bench/internal/workload"
 )
 
 // MixStats summarizes one concurrent (engine, scale) drive: how long the
@@ -125,8 +125,8 @@ func (r *Runner) runConcurrent(rep *Report, factory executorFactory, sc Scale, q
 		mix.QPS = float64(len(latencies)) / wall.Seconds()
 	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	mix.P50 = percentile(latencies, 0.50)
-	mix.P95 = percentile(latencies, 0.95)
+	mix.P50 = workload.Percentile(latencies, 0.50)
+	mix.P95 = workload.Percentile(latencies, 0.95)
 	rep.Mixes = append(rep.Mixes, mix)
 
 	// One merged cell per query keeps the sequential report contract:
@@ -197,24 +197,6 @@ func mergeClientRuns(runs []QueryRun) QueryRun {
 	}
 	merged.Results = results
 	return merged
-}
-
-// percentile reads the p-quantile from an ascending slice using the
-// nearest-rank convention (index ceil(p·n)−1): the median stays a
-// median for tiny samples while tail quantiles still land on the
-// outliers they exist to expose.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
-	if idx < 0 {
-		idx = 0
-	}
-	if idx >= len(sorted) {
-		idx = len(sorted) - 1
-	}
-	return sorted[idx]
 }
 
 // RenderConcurrency writes the throughput/latency summary of the

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"sp2bench/internal/workload"
 )
 
 // fastQueries is a query subset that completes quickly on the native
@@ -221,23 +223,23 @@ func TestConcurrentRunsMultiplier(t *testing.T) {
 func TestPercentileNearestRank(t *testing.T) {
 	d := func(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
 	two := []time.Duration{d(1), d(100)}
-	if got := percentile(two, 0.50); got != d(1) {
+	if got := workload.Percentile(two, 0.50); got != d(1) {
 		t.Errorf("P50 of 2 samples = %v, want the lower median %v", got, d(1))
 	}
-	if got := percentile(two, 0.95); got != d(100) {
+	if got := workload.Percentile(two, 0.95); got != d(100) {
 		t.Errorf("P95 of 2 samples = %v, want the max %v", got, d(100))
 	}
 	twenty := make([]time.Duration, 20)
 	for i := range twenty {
 		twenty[i] = d(i + 1)
 	}
-	if got := percentile(twenty, 0.95); got != d(19) {
+	if got := workload.Percentile(twenty, 0.95); got != d(19) {
 		t.Errorf("P95 of 20 samples = %v, want rank 19 (%v)", got, d(19))
 	}
-	if got := percentile(twenty, 0); got != d(1) {
+	if got := workload.Percentile(twenty, 0); got != d(1) {
 		t.Errorf("P0 = %v, want the minimum", got)
 	}
-	if got := percentile(nil, 0.5); got != 0 {
+	if got := workload.Percentile(nil, 0.5); got != 0 {
 		t.Errorf("empty sample = %v, want 0", got)
 	}
 }

@@ -2,8 +2,6 @@ package harness
 
 import (
 	"context"
-	"sort"
-	"strings"
 
 	"sp2bench/internal/client"
 	"sp2bench/internal/engine"
@@ -93,24 +91,5 @@ func newEndpointExecutor(c *client.Client) *endpointExecutor {
 func (e *endpointExecutor) Name() string { return "endpoint" }
 
 func (e *endpointExecutor) Execute(ctx context.Context, q queries.Query) (int, error) {
-	return e.c.Count(ctx, prologueText+q.Text)
+	return e.c.Count(ctx, queries.PrologueText()+q.Text)
 }
-
-// prologueText is the PREFIX block equivalent to queries.Prologue,
-// rendered once in sorted order.
-var prologueText = func() string {
-	names := make([]string, 0, len(queries.Prologue))
-	for name := range queries.Prologue {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	var b strings.Builder
-	for _, name := range names {
-		b.WriteString("PREFIX ")
-		b.WriteString(name)
-		b.WriteString(": <")
-		b.WriteString(queries.Prologue[name])
-		b.WriteString(">\n")
-	}
-	return b.String()
-}()

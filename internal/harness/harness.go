@@ -28,6 +28,7 @@ import (
 	"sp2bench/internal/queries"
 	"sp2bench/internal/snapshot"
 	"sp2bench/internal/store"
+	"sp2bench/internal/workload"
 )
 
 // Scale is one document size of the benchmark protocol.
@@ -219,6 +220,19 @@ type Config struct {
 	// concurrent mode the MixStats CPU/memory figures describe this
 	// process (the driving client), not the remote server.
 	Endpoint string
+	// Mix, when non-empty, switches Run to the workload scenario engine:
+	// the named built-in mix (or inline "q1:9,update:1" spec) is driven
+	// for WorkloadDuration against every (engine, scale) pair — or the
+	// remote endpoint — and the results land in Report.Workloads
+	// instead of the paper's per-query sweep.
+	Mix string
+	// Rate is the open-loop Poisson arrival rate in operations/sec for
+	// scenario mode; 0 keeps the closed loop with Clients workers.
+	Rate float64
+	// WorkloadWarmup and WorkloadDuration phase a scenario drive:
+	// warmup runs unrecorded, then the measured window.
+	WorkloadWarmup   time.Duration
+	WorkloadDuration time.Duration
 	// Seed feeds the generator.
 	Seed uint64
 	// WorkDir, when set, holds the generated documents and enables the
@@ -260,6 +274,9 @@ type Report struct {
 	PerClient []QueryRun
 	// Mixes summarizes each concurrent (engine, scale) drive.
 	Mixes []MixStats
+	// Workloads holds the scenario-engine results of a Config.Mix run,
+	// one per (engine, scale) or one for the remote endpoint.
+	Workloads []*workload.Result
 	// Footprints records each loaded store's memory footprint by scale
 	// (the sp2bbench -stats report), and Sources the representation each
 	// scale's store was actually built from ("ntriples" or "snapshot").
@@ -293,6 +310,14 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if cfg.Runs <= 0 {
 		cfg.Runs = 1
 	}
+	if cfg.Mix != "" {
+		if _, err := queries.ParseMix(cfg.Mix); err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		if cfg.WorkloadDuration <= 0 {
+			cfg.WorkloadDuration = 30 * time.Second
+		}
+	}
 	return &Runner{cfg: cfg, docs: map[string]string{}, manifests: map[string]*docManifest{}}, nil
 }
 
@@ -315,8 +340,8 @@ type docManifest struct {
 	// triple limit yields a byte-prefix of a larger document — so the
 	// probe is literally a prefix of every cached document with this
 	// seed, and any generator change invalidates the whole cache.
-	Probe    string        `json:"probe_sha256"`
-	DocBytes int64         `json:"doc_bytes"`
+	Probe    string `json:"probe_sha256"`
+	DocBytes int64  `json:"doc_bytes"`
 	// TripleLimit is the requested document size; the probe cannot see
 	// it (it fingerprints a fixed-size prefix), so reuse must also
 	// check that the cached document was generated for the same limit.
@@ -463,8 +488,16 @@ func (r *Runner) Documents(rep *Report) error {
 
 // Run executes the full protocol and returns the report. With
 // Config.Endpoint set, the protocol runs against the remote endpoint
-// instead of generating documents and driving in-process engines.
+// instead of generating documents and driving in-process engines; with
+// Config.Mix set, the workload scenario engine drives the mix instead
+// of the per-query sweep.
 func (r *Runner) Run() (*Report, error) {
+	if r.cfg.Mix != "" {
+		if r.cfg.Endpoint != "" {
+			return r.runEndpointWorkload()
+		}
+		return r.runWorkload()
+	}
 	if r.cfg.Endpoint != "" {
 		return r.runEndpoint()
 	}

@@ -1,0 +1,491 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"sp2bench/internal/store"
+	"sp2bench/internal/workload"
+)
+
+// Machine-readable reporting: the paper's Section VI prescribes
+// arithmetic and geometric means over repeated runs so engines can be
+// compared robustly; this file makes the whole report a versioned JSON
+// document, and makes any two such documents comparable — the baseline
+// regression gate every future performance change is measured through.
+
+// ReportSchema identifies the JSON report format. Consumers must
+// reject majors they do not know; additive changes stay within a
+// major.
+const ReportSchema = "sp2bench-report/1"
+
+// JSONReport is the schema-versioned serialization of a benchmark run.
+type JSONReport struct {
+	Schema    string      `json:"schema"`
+	CreatedAt string      `json:"created_at"`
+	Env       Environment `json:"environment"`
+	Config    ConfigInfo  `json:"config"`
+	// Generation summarizes document generation per scale.
+	Generation map[string]GenInfo `json:"generation,omitempty"`
+	// Loading is the Section VI loading-time metric.
+	Loading []LoadInfo `json:"loading,omitempty"`
+	// Runs holds every (engine, scale, query) cell of a sweep run.
+	Runs []RunInfo `json:"runs,omitempty"`
+	// Means are the paper's global-performance metrics per (engine,
+	// scale): arithmetic and geometric mean with failures ranked at the
+	// penalty.
+	Means []MeansInfo `json:"means,omitempty"`
+	// QueryMeans aggregate each query across scales per engine — the
+	// per-query unit the baseline gate compares.
+	QueryMeans []QueryMeanInfo `json:"query_means,omitempty"`
+	// Concurrency summarizes closed-loop concurrent sweep drives.
+	Concurrency []MixInfo `json:"concurrency,omitempty"`
+	// Workloads holds scenario-engine results (mixes, open loop, time
+	// series) verbatim from internal/workload.
+	Workloads []*workload.Result `json:"workloads,omitempty"`
+	// Footprints and Sources record per-scale store footprint and the
+	// representation the store was built from.
+	Footprints map[string]store.Footprint `json:"footprints,omitempty"`
+	Sources    map[string]string          `json:"sources,omitempty"`
+}
+
+// Environment records where the run happened — numbers without a
+// machine attached are not comparable.
+type Environment struct {
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Hostname   string `json:"hostname,omitempty"`
+}
+
+// ConfigInfo summarizes the protocol configuration of the run.
+type ConfigInfo struct {
+	Scales          []string `json:"scales,omitempty"`
+	Engines         []string `json:"engines,omitempty"`
+	Queries         []string `json:"queries,omitempty"`
+	TimeoutSeconds  float64  `json:"timeout_seconds"`
+	Runs            int      `json:"runs"`
+	Clients         int      `json:"clients,omitempty"`
+	PenaltySeconds  float64  `json:"penalty_seconds"`
+	ChargeLoadToMem bool     `json:"charge_load_to_mem"`
+	Endpoint        string   `json:"endpoint,omitempty"`
+	Mix             string   `json:"mix,omitempty"`
+	Rate            float64  `json:"rate,omitempty"`
+	WarmupSeconds   float64  `json:"warmup_seconds,omitempty"`
+	DurationSeconds float64  `json:"duration_seconds,omitempty"`
+	Seed            uint64   `json:"seed"`
+}
+
+// GenInfo summarizes one scale's document generation.
+type GenInfo struct {
+	Triples    int64   `json:"triples"`
+	Bytes      int64   `json:"bytes"`
+	EndYear    int     `json:"end_year"`
+	GenSeconds float64 `json:"gen_seconds"`
+}
+
+// LoadInfo is one loading-time row.
+type LoadInfo struct {
+	Scale       string  `json:"scale"`
+	Engine      string  `json:"engine"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Triples     int     `json:"triples"`
+	Source      string  `json:"source"`
+}
+
+// RunInfo is one measured cell.
+type RunInfo struct {
+	Query       string  `json:"query"`
+	Engine      string  `json:"engine"`
+	Scale       string  `json:"scale"`
+	Outcome     string  `json:"outcome"`
+	WallSeconds float64 `json:"wall_seconds"`
+	UserSeconds float64 `json:"user_seconds,omitempty"`
+	SysSeconds  float64 `json:"sys_seconds,omitempty"`
+	Results     int     `json:"results"`
+	MemPeak     uint64  `json:"mem_peak,omitempty"`
+	Client      int     `json:"client,omitempty"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// MeansInfo is one (engine, scale) global-performance row.
+type MeansInfo struct {
+	Engine       string  `json:"engine"`
+	Scale        string  `json:"scale"`
+	Arithmetic   float64 `json:"arithmetic_seconds"`
+	Geometric    float64 `json:"geometric_seconds"`
+	MemMeanBytes float64 `json:"mem_mean_bytes,omitempty"`
+	Queries      int     `json:"queries"`
+	Failures     int     `json:"failures"`
+}
+
+// QueryMeanInfo aggregates one query across all scales of one engine.
+// Failed cells enter at the configured penalty, per the paper's
+// ranking rule, so a query that starts timing out moves its mean —
+// and trips the baseline gate — instead of silently vanishing.
+type QueryMeanInfo struct {
+	Engine     string  `json:"engine"`
+	Query      string  `json:"query"`
+	Cells      int     `json:"cells"`
+	Failures   int     `json:"failures"`
+	Arithmetic float64 `json:"arithmetic_seconds"`
+	Geometric  float64 `json:"geometric_seconds"`
+}
+
+// MixInfo is one concurrent-sweep summary row.
+type MixInfo struct {
+	Engine      string        `json:"engine"`
+	Scale       string        `json:"scale"`
+	Clients     int           `json:"clients"`
+	WallSeconds float64       `json:"wall_seconds"`
+	Executions  int           `json:"executions"`
+	Failures    int           `json:"failures"`
+	QPS         float64       `json:"qps"`
+	P50         time.Duration `json:"p50_ns"`
+	P95         time.Duration `json:"p95_ns"`
+}
+
+// JSONReport builds the machine-readable form of the report.
+func (rep *Report) JSONReport() *JSONReport {
+	out := &JSONReport{
+		Schema:    ReportSchema,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		Env: Environment{
+			GoVersion:  runtime.Version(),
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+			NumCPU:     runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Workloads:  rep.Workloads,
+		Footprints: rep.Footprints,
+		Sources:    rep.Sources,
+	}
+	if host, err := os.Hostname(); err == nil {
+		out.Env.Hostname = host
+	}
+
+	cfg := rep.Config
+	out.Config = ConfigInfo{
+		Queries:         cfg.QueryIDs,
+		TimeoutSeconds:  cfg.Timeout.Seconds(),
+		Runs:            cfg.Runs,
+		Clients:         cfg.Clients,
+		PenaltySeconds:  cfg.PenaltySeconds,
+		ChargeLoadToMem: cfg.ChargeLoadToMem,
+		Endpoint:        cfg.Endpoint,
+		Mix:             cfg.Mix,
+		Rate:            cfg.Rate,
+		WarmupSeconds:   cfg.WorkloadWarmup.Seconds(),
+		DurationSeconds: cfg.WorkloadDuration.Seconds(),
+		Seed:            cfg.Seed,
+	}
+	for _, sc := range cfg.Scales {
+		out.Config.Scales = append(out.Config.Scales, sc.Name)
+	}
+	for _, es := range cfg.Engines {
+		out.Config.Engines = append(out.Config.Engines, es.Name)
+	}
+
+	if len(rep.GenStats) > 0 {
+		out.Generation = map[string]GenInfo{}
+		for name, st := range rep.GenStats {
+			out.Generation[name] = GenInfo{
+				Triples:    st.Triples,
+				Bytes:      st.Bytes,
+				EndYear:    st.EndYear,
+				GenSeconds: rep.GenTime[name].Seconds(),
+			}
+		}
+	}
+	for _, l := range rep.Loading {
+		out.Loading = append(out.Loading, LoadInfo{
+			Scale: l.Scale, Engine: l.Engine, WallSeconds: l.Wall.Seconds(),
+			Triples: l.Triples, Source: l.Source,
+		})
+	}
+	for _, run := range rep.Runs {
+		out.Runs = append(out.Runs, RunInfo{
+			Query: run.Query, Engine: run.Engine, Scale: run.Scale,
+			Outcome:     run.Outcome.String(),
+			WallSeconds: run.Wall.Seconds(),
+			UserSeconds: run.User.Seconds(), SysSeconds: run.Sys.Seconds(),
+			Results: run.Results, MemPeak: run.MemPeak, Client: run.Client, Err: run.Err,
+		})
+	}
+	for _, m := range rep.GlobalMeans() {
+		out.Means = append(out.Means, MeansInfo{
+			Engine: m.Engine, Scale: m.Scale,
+			Arithmetic: m.Arithmetic, Geometric: m.Geometric,
+			MemMeanBytes: m.MemMeanBytes, Queries: m.Queries, Failures: m.Failures,
+		})
+	}
+	out.QueryMeans = rep.queryMeans()
+	for _, m := range rep.Mixes {
+		out.Concurrency = append(out.Concurrency, MixInfo{
+			Engine: m.Engine, Scale: m.Scale, Clients: m.Clients,
+			WallSeconds: m.Wall.Seconds(), Executions: m.Executions,
+			Failures: m.Failures, QPS: m.QPS, P50: m.P50, P95: m.P95,
+		})
+	}
+	return out
+}
+
+// queryMeans aggregates the sweep cells per (engine, query), failures
+// ranked at the penalty.
+func (rep *Report) queryMeans() []QueryMeanInfo {
+	type key struct{ eng, q string }
+	type acc struct {
+		secs     []float64
+		failures int
+	}
+	accs := map[key]*acc{}
+	var order []key
+	for _, run := range rep.Runs {
+		k := key{run.Engine, run.Query}
+		a, ok := accs[k]
+		if !ok {
+			a = &acc{}
+			accs[k] = a
+			order = append(order, k)
+		}
+		secs := run.Wall.Seconds()
+		if run.Outcome != Success {
+			secs = rep.Config.PenaltySeconds
+			a.failures++
+		}
+		a.secs = append(a.secs, secs)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].eng != order[j].eng {
+			return order[i].eng < order[j].eng
+		}
+		return order[i].q < order[j].q
+	})
+	out := make([]QueryMeanInfo, 0, len(order))
+	for _, k := range order {
+		a := accs[k]
+		sum := 0.0
+		for _, s := range a.secs {
+			sum += s
+		}
+		out = append(out, QueryMeanInfo{
+			Engine: k.eng, Query: k.q,
+			Cells: len(a.secs), Failures: a.failures,
+			Arithmetic: sum / float64(len(a.secs)),
+			Geometric:  workload.GeoMean(a.secs),
+		})
+	}
+	return out
+}
+
+// WriteJSON encodes the report to w.
+func (j *JSONReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}
+
+// WriteJSONFile writes the report to path.
+func (j *JSONReport) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = j.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ReadJSONReport parses a report, rejecting unknown schema majors.
+func ReadJSONReport(r io.Reader) (*JSONReport, error) {
+	var j JSONReport
+	if err := json.NewDecoder(r).Decode(&j); err != nil {
+		return nil, fmt.Errorf("harness: parsing report: %w", err)
+	}
+	if j.Schema != ReportSchema {
+		return nil, fmt.Errorf("harness: unsupported report schema %q (want %s)", j.Schema, ReportSchema)
+	}
+	return &j, nil
+}
+
+// ReadJSONReportFile reads a report from path.
+func ReadJSONReportFile(path string) (*JSONReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONReport(f)
+}
+
+// GeoMeanIndex flattens every per-query geometric mean of the report —
+// sweep aggregates and workload per-operation stats — into one map of
+// canonical comparison keys:
+//
+//	sweep/<engine>/<query>
+//	workload/<mix>/<target>/<scale>/<op>
+//
+// The keys are what CompareBaseline matches between two reports.
+func (j *JSONReport) GeoMeanIndex() map[string]GeoMeanCell {
+	idx := map[string]GeoMeanCell{}
+	for _, m := range j.QueryMeans {
+		idx[fmt.Sprintf("sweep/%s/%s", m.Engine, m.Query)] = GeoMeanCell{
+			Geo: m.Geometric, Count: m.Cells, Failures: m.Failures,
+		}
+	}
+	for _, w := range j.Workloads {
+		for _, qs := range w.PerQuery {
+			key := fmt.Sprintf("workload/%s/%s/%s/%s", w.Mix, w.Target, w.Scale, qs.ID)
+			idx[key] = GeoMeanCell{Geo: qs.GeoMeanSeconds, Count: qs.Count, Failures: qs.Failures}
+		}
+	}
+	return idx
+}
+
+// GeoMeanCell is one comparable number: the geometric mean of a query's
+// measured seconds, with how many samples and failures stand behind it.
+type GeoMeanCell struct {
+	Geo      float64
+	Count    int
+	Failures int
+}
+
+// Delta is the comparison of one key across two reports.
+type Delta struct {
+	Key       string  `json:"key"`
+	Base      float64 `json:"base_geomean_seconds"`
+	Current   float64 `json:"current_geomean_seconds"`
+	Ratio     float64 `json:"ratio"` // current/base; 0 when not computable
+	Status    string  `json:"status"`
+	BaseFails int     `json:"base_failures,omitempty"`
+	CurFails  int     `json:"current_failures,omitempty"`
+}
+
+// Delta statuses.
+const (
+	DeltaOK           = "ok"
+	DeltaRegression   = "regression"
+	DeltaImproved     = "improved"
+	DeltaNew          = "new"           // in current only
+	DeltaMissing      = "missing"       // in baseline only
+	DeltaZeroBaseline = "zero-baseline" // baseline mean not positive; no ratio
+)
+
+// BaselineComparison is the result of comparing a run against a prior
+// report.
+type BaselineComparison struct {
+	Threshold   float64 `json:"threshold"`
+	Deltas      []Delta `json:"deltas"`
+	Regressions int     `json:"regressions"`
+	Missing     int     `json:"missing"`
+	New         int     `json:"new"`
+}
+
+// Regressed reports whether any key regressed past the threshold.
+func (c *BaselineComparison) Regressed() bool { return c.Regressions > 0 }
+
+// CompareBaseline diffs the geometric means of cur against base. A key
+// regresses when its ratio exceeds threshold (e.g. 1.5 = fifty percent
+// slower) or when it fails more often than it did in the baseline —
+// new failures are regressions no matter what the clamp-penalized
+// means say. Keys present on only one side are reported but never
+// regress: a changed query set is a configuration difference, not a
+// performance signal.
+func CompareBaseline(cur, base *JSONReport, threshold float64) (*BaselineComparison, error) {
+	if threshold <= 1 {
+		return nil, fmt.Errorf("harness: regression threshold must exceed 1, got %v", threshold)
+	}
+	curIdx, baseIdx := cur.GeoMeanIndex(), base.GeoMeanIndex()
+	keys := make([]string, 0, len(curIdx)+len(baseIdx))
+	for k := range curIdx {
+		keys = append(keys, k)
+	}
+	for k := range baseIdx {
+		if _, ok := curIdx[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+
+	cmp := &BaselineComparison{Threshold: threshold}
+	for _, k := range keys {
+		c, inCur := curIdx[k]
+		b, inBase := baseIdx[k]
+		d := Delta{Key: k, Base: b.Geo, Current: c.Geo, BaseFails: b.Failures, CurFails: c.Failures}
+		switch {
+		case !inBase:
+			d.Status = DeltaNew
+			cmp.New++
+		case !inCur:
+			d.Status = DeltaMissing
+			cmp.Missing++
+		case b.Geo <= 0 || math.IsNaN(b.Geo) || math.IsInf(b.Geo, 0):
+			// A zero or broken baseline mean admits no ratio; flagging
+			// it as a regression would make an empty cell block forever.
+			d.Status = DeltaZeroBaseline
+		default:
+			d.Ratio = c.Geo / b.Geo
+			switch {
+			case c.Failures > b.Failures:
+				d.Status = DeltaRegression
+				cmp.Regressions++
+			case d.Ratio > threshold:
+				d.Status = DeltaRegression
+				cmp.Regressions++
+			case d.Ratio < 1/threshold:
+				d.Status = DeltaImproved
+			default:
+				d.Status = DeltaOK
+			}
+		}
+		cmp.Deltas = append(cmp.Deltas, d)
+	}
+	return cmp, nil
+}
+
+// Render writes the comparison, regressions first, improvements and
+// bookkeeping after, stable keys (status ok) summarized in one line.
+func (c *BaselineComparison) Render(w io.Writer) {
+	ok := 0
+	order := []string{DeltaRegression, DeltaZeroBaseline, DeltaMissing, DeltaNew, DeltaImproved}
+	byStatus := map[string][]Delta{}
+	for _, d := range c.Deltas {
+		if d.Status == DeltaOK {
+			ok++
+			continue
+		}
+		byStatus[d.Status] = append(byStatus[d.Status], d)
+	}
+	fmt.Fprintf(w, "Baseline comparison (threshold %.2fx): %d keys, %d ok, %d regressions\n",
+		c.Threshold, len(c.Deltas), ok, c.Regressions)
+	for _, status := range order {
+		for _, d := range byStatus[status] {
+			switch status {
+			case DeltaRegression, DeltaImproved:
+				extra := ""
+				if d.CurFails > d.BaseFails {
+					extra = fmt.Sprintf(" failures %d->%d", d.BaseFails, d.CurFails)
+				}
+				fmt.Fprintf(w, "  %-12s %-45s %.6fs -> %.6fs (%.2fx)%s\n",
+					status, d.Key, d.Base, d.Current, d.Ratio, extra)
+			case DeltaMissing:
+				fmt.Fprintf(w, "  %-12s %-45s was %.6fs, absent in current run\n", status, d.Key, d.Base)
+			case DeltaNew:
+				fmt.Fprintf(w, "  %-12s %-45s %.6fs, absent in baseline\n", status, d.Key, d.Current)
+			case DeltaZeroBaseline:
+				fmt.Fprintf(w, "  %-12s %-45s baseline mean %.6fs admits no ratio\n", status, d.Key, d.Base)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"sp2bench/internal/client"
+	"sp2bench/internal/queries"
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/store"
+	"sp2bench/internal/workload"
+)
+
+// Workload scenario mode: with Config.Mix set, the harness drives the
+// scenario engine (internal/workload) instead of the paper's per-query
+// sweep — the named mix runs for a fixed duration against every
+// (engine, scale) pair, or against the remote endpoint, closed-loop or
+// open-loop per Config.Rate.
+
+// updateBatchCount is how many yearly insert batches a mixed-update
+// scenario prepares; the batch queue cycles when the drive outruns
+// them, so the count bounds preparation cost, not scenario length.
+const updateBatchCount = 8
+
+// endpointUpdateEndYear anchors the update stream in endpoint mode,
+// where the remote store's own timeline is unknown: batches continue
+// the generator's timeline from this year. Inserts remain valid
+// regardless of what the endpoint already holds.
+const endpointUpdateEndYear = 1955
+
+// endpointUpdateSeedOffset derives the endpoint update stream's seed
+// from the configured one. A remote store typically serves a document
+// generated from the same seed; batches from that seed would reproduce
+// triples the store already holds and deduplicate into no-ops, so the
+// stream draws from a disjoint seed and the inserts are genuinely new.
+const endpointUpdateSeedOffset = 0x9e3779b97f4a7c15
+
+// runWorkload executes the scenario protocol over the configured
+// scales and engines, reusing document generation and store loading
+// (including the snapshot cache) from the sweep protocol.
+func (r *Runner) runWorkload() (*Report, error) {
+	mix, err := queries.ParseMix(r.cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Config: r.cfg}
+	if err := r.Documents(rep); err != nil {
+		return nil, err
+	}
+	rep.Footprints = map[string]store.Footprint{}
+	rep.Sources = map[string]string{}
+	for _, sc := range r.cfg.Scales {
+		lr, err := r.load(sc)
+		if err != nil {
+			return nil, err
+		}
+		rep.Footprints[sc.Name] = lr.store.Footprint()
+		rep.Sources[sc.Name] = lr.source
+		r.progressf("loaded %s from %s in %v\n", sc.Name, lr.source, (lr.parse + lr.freeze).Round(time.Millisecond))
+		// Update batches depend only on seed and scale — generate them
+		// once per scale, not per engine (the generator run dominates).
+		var batches [][]rdf.Triple
+		if mix.UpdateWeight > 0 {
+			var err error
+			batches, err = workload.UpdateBatches(r.cfg.Seed, rep.GenStats[sc.Name].EndYear, updateBatchCount)
+			if err != nil {
+				return nil, fmt.Errorf("harness: preparing update batches: %w", err)
+			}
+		}
+		for i, es := range r.cfg.Engines {
+			st := lr.store
+			// An update mix mutates the store; every engine after the
+			// first gets a fresh load so scenarios stay independent.
+			if mix.UpdateWeight > 0 && i > 0 {
+				lr2, err := r.load(sc)
+				if err != nil {
+					return nil, err
+				}
+				st = lr2.store
+			}
+			var bq *workload.BatchQueue
+			if mix.UpdateWeight > 0 {
+				// Each engine gets its own queue cursor over the shared
+				// parsed batches, so every drive sees the same sequence.
+				var err error
+				if bq, err = workload.NewBatchQueue(batches); err != nil {
+					return nil, err
+				}
+			}
+			shared := workload.NewStoreShared(es.Name, st, es.Opts, bq)
+			res, err := workload.Run(context.Background(), shared.Factory(), r.scenario(mix))
+			if err != nil {
+				return nil, fmt.Errorf("harness: workload %s on %s/%s: %w", mix.Name, es.Name, sc.Name, err)
+			}
+			res.Scale = sc.Name
+			rep.Workloads = append(rep.Workloads, res)
+			r.progressWorkload(res)
+		}
+	}
+	return rep, nil
+}
+
+// runEndpointWorkload drives the mix against the remote endpoint.
+func (r *Runner) runEndpointWorkload() (*Report, error) {
+	mix, err := queries.ParseMix(r.cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{Config: r.cfg}
+	var bq *workload.BatchQueue
+	if mix.UpdateWeight > 0 {
+		batches, err := workload.UpdateBatches(r.cfg.Seed+endpointUpdateSeedOffset, endpointUpdateEndYear, updateBatchCount)
+		if err != nil {
+			return nil, fmt.Errorf("harness: preparing update batches: %w", err)
+		}
+		if bq, err = workload.NewBatchQueue(batches); err != nil {
+			return nil, err
+		}
+	}
+	c := client.New(r.cfg.Endpoint)
+	target := workload.NewEndpointTarget(c, bq)
+	factory := func() workload.Target { return target }
+	res, err := workload.Run(context.Background(), factory, r.scenario(mix))
+	if err != nil {
+		return nil, fmt.Errorf("harness: workload %s on endpoint: %w", mix.Name, err)
+	}
+	res.Scale = "remote"
+	rep.Workloads = append(rep.Workloads, res)
+	r.progressWorkload(res)
+	return rep, nil
+}
+
+// scenario assembles the workload scenario from the config.
+// Config.Clients passes through verbatim: 0 lets the scenario engine
+// pick its mode default (1 closed-loop worker; a wide open-loop
+// dispatch pool), an explicit count — including 1 — is honored in
+// both modes.
+func (r *Runner) scenario(mix queries.Mix) workload.Scenario {
+	return workload.Scenario{
+		Mix:      mix,
+		Clients:  r.cfg.Clients,
+		Rate:     r.cfg.Rate,
+		Warmup:   r.cfg.WorkloadWarmup,
+		Duration: r.cfg.WorkloadDuration,
+		Timeout:  r.cfg.Timeout,
+		Seed:     r.cfg.Seed,
+	}
+}
+
+func (r *Runner) progressWorkload(res *workload.Result) {
+	r.progressf("%-7s %-16s %-13s %-10s ops=%d fail=%d %0.1f ops/s p50=%v p95=%v p99=%v\n",
+		res.Scale, res.Target, res.Mix, res.Mode, res.Ops, res.Failures, res.Throughput,
+		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+}
+
+// RenderWorkloads writes the scenario results: one summary row per
+// drive, then the per-operation breakdown.
+func (rep *Report) RenderWorkloads(w io.Writer) {
+	if len(rep.Workloads) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "Workload scenarios")
+	fmt.Fprintf(w, "%-7s %-16s %-13s %-11s %7s %8s %6s %5s %9s %12s %12s %12s\n",
+		"scale", "target", "mix", "mode", "clients", "rate", "ops", "fail", "ops/s", "p50", "p95", "p99")
+	for _, res := range rep.Workloads {
+		rate := "-"
+		if res.TargetRate > 0 {
+			rate = fmt.Sprintf("%.0f/%.0f", res.OfferedRate, res.TargetRate)
+		}
+		fmt.Fprintf(w, "%-7s %-16s %-13s %-11s %7d %8s %6d %5d %9.1f %12v %12v %12v\n",
+			res.Scale, res.Target, res.Mix, res.Mode, res.Clients, rate,
+			res.Ops, res.Failures, res.Throughput,
+			res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+	}
+	for _, res := range rep.Workloads {
+		fmt.Fprintf(w, "\nPer-operation stats: %s mix on %s/%s\n", res.Mix, res.Target, res.Scale)
+		fmt.Fprintf(w, "%-8s %7s %5s %12s %12s %12s %12s %12s\n",
+			"op", "count", "fail", "mean", "geomean", "p50", "p95", "p99")
+		for _, qs := range res.PerQuery {
+			fmt.Fprintf(w, "%-8s %7d %5d %12.6f %12.6f %12v %12v %12v\n",
+				qs.ID, qs.Count, qs.Failures, qs.MeanSeconds, qs.GeoMeanSeconds,
+				qs.P50.Round(time.Microsecond), qs.P95.Round(time.Microsecond), qs.P99.Round(time.Microsecond))
+		}
+		if res.Dropped > 0 {
+			fmt.Fprintf(w, "dropped %d arrivals on queue overflow (backend saturated)\n", res.Dropped)
+		}
+	}
+}

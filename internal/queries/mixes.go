@@ -1,0 +1,201 @@
+package queries
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Mix is a named, weighted query mix: the unit the workload subsystem
+// schedules. The paper's protocol sweeps every query uniformly; real
+// SPARQL query logs are heavily skewed toward cheap lookups with a long
+// tail of expensive joins (Bonifati et al., "An Analytical Study of
+// Large SPARQL Query Logs"), so scenario runs pick queries by weight
+// instead. A mix may also carry an update share, modeling the
+// append-only DBLP update stream the paper's conclusion proposes.
+type Mix struct {
+	// Name identifies the mix ("uniform", "lookup-heavy", ...).
+	Name string
+	// Description states what traffic the mix models.
+	Description string
+	// Weights maps benchmark query IDs to relative draw weights. Only
+	// listed queries participate; weights need not sum to anything.
+	Weights map[string]int
+	// UpdateWeight is the relative weight of update operations (insert
+	// batches) alongside the queries. Zero means a read-only mix.
+	UpdateWeight int
+}
+
+// TotalWeight sums the query weights plus the update weight.
+func (m Mix) TotalWeight() int {
+	total := m.UpdateWeight
+	for _, w := range m.Weights {
+		total += w
+	}
+	return total
+}
+
+// QueryIDs returns the participating query IDs in paper order.
+func (m Mix) QueryIDs() []string {
+	var ids []string
+	for _, id := range IDs() {
+		if m.Weights[id] > 0 {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Validate checks that every weighted ID names a benchmark query and
+// that the mix can draw at least one operation.
+func (m Mix) Validate() error {
+	for id, w := range m.Weights {
+		if _, ok := ByID(id); !ok {
+			return fmt.Errorf("mix %s: unknown query %q", m.Name, id)
+		}
+		if w < 0 {
+			return fmt.Errorf("mix %s: negative weight %d for %q", m.Name, w, id)
+		}
+	}
+	if m.UpdateWeight < 0 {
+		return fmt.Errorf("mix %s: negative update weight %d", m.Name, m.UpdateWeight)
+	}
+	if m.TotalWeight() <= 0 {
+		return fmt.Errorf("mix %s: no positive weights", m.Name)
+	}
+	return nil
+}
+
+// mixes is the built-in catalog. Weights are grounded in the Table II
+// query characteristics: the lookup class is the queries that touch a
+// bounded neighborhood (point accesses, selective filters, ASK probes),
+// the join class is the ones the paper designed to stress pattern
+// reuse, negation encodings and long join chains.
+var mixes = []Mix{
+	{
+		Name:        "uniform",
+		Description: "every benchmark query with equal weight — the paper's sweep as a mix",
+		Weights:     uniformWeights(),
+	},
+	{
+		Name: "lookup-heavy",
+		Description: "log-like skew: dominated by point lookups, selective " +
+			"filters and ASK probes, with a thin tail of joins",
+		Weights: map[string]int{
+			"q1":   30, // single journal lookup
+			"q10":  20, // object-bound point access
+			"q11":  10, // LIMIT/OFFSET page fetch
+			"q12c": 20, // negative ASK probe
+			"q3b":  10, // selective filter
+			"q3c":  5,  // never-satisfied filter
+			"q2":   3,  // mid-size scan with OPTIONAL
+			"q5b":  1,  // one real join in the tail
+			"q12a": 1,  // ASK form of the q5a join
+		},
+	},
+	{
+		Name: "join-heavy",
+		Description: "analytics-like: the queries built around pattern reuse, " +
+			"negation and long join chains dominate",
+		Weights: map[string]int{
+			"q4":  10, // the quadratic author-pair join
+			"q5a": 10, // implicit FILTER join
+			"q5b": 10, // explicit join
+			"q6":  10, // closed-world negation
+			"q7":  10, // double negation, deep OPTIONAL nesting
+			"q8":  10, // UNION of Erdős chains
+			"q9":  10, // schema exploration UNION
+			"q2":  5,  // long AND chain with ORDER BY
+			"q3a": 5,  // unselective filter scan
+		},
+	},
+	{
+		Name: "mixed-update",
+		Description: "read-mostly traffic with a write stream: lookup-leaning " +
+			"reads plus yearly DBLP insert batches (10% updates)",
+		Weights: map[string]int{
+			"q1":   20,
+			"q10":  15,
+			"q12c": 10,
+			"q3b":  10,
+			"q2":   5,
+			"q5b":  5,
+			"q8":   5,
+			"q11":  5,
+			"q12a": 5,
+		},
+		UpdateWeight: 10,
+	},
+}
+
+func uniformWeights() map[string]int {
+	w := make(map[string]int, len(catalog))
+	for _, q := range catalog {
+		w[q.ID] = 1
+	}
+	return w
+}
+
+// Mixes returns the built-in mixes.
+func Mixes() []Mix {
+	out := make([]Mix, len(mixes))
+	copy(out, mixes)
+	return out
+}
+
+// MixByName resolves a built-in mix.
+func MixByName(name string) (Mix, bool) {
+	for _, m := range mixes {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Mix{}, false
+}
+
+// MixNames returns the built-in mix names, sorted.
+func MixNames() []string {
+	out := make([]string, 0, len(mixes))
+	for _, m := range mixes {
+		out = append(out, m.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseMix resolves a mix argument: a built-in name, or an inline
+// specification "id:weight,id:weight[,update:weight]" for ad-hoc
+// scenarios (e.g. "q1:9,q4:1" or "q1:8,update:2").
+func ParseMix(s string) (Mix, error) {
+	if m, ok := MixByName(s); ok {
+		return m, nil
+	}
+	if !strings.Contains(s, ":") {
+		return Mix{}, fmt.Errorf("unknown mix %q (built-ins: %s; or inline \"q1:9,q4:1\")",
+			s, strings.Join(MixNames(), ", "))
+	}
+	m := Mix{Name: s, Description: "inline mix", Weights: map[string]int{}}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, ws, ok := strings.Cut(part, ":")
+		if !ok {
+			return Mix{}, fmt.Errorf("inline mix: %q is not id:weight", part)
+		}
+		var w int
+		if _, err := fmt.Sscanf(ws, "%d", &w); err != nil || w <= 0 {
+			return Mix{}, fmt.Errorf("inline mix: bad weight %q for %q", ws, id)
+		}
+		if id == "update" {
+			m.UpdateWeight = w
+			continue
+		}
+		m.Weights[strings.ToLower(id)] = w
+	}
+	if err := m.Validate(); err != nil {
+		return Mix{}, err
+	}
+	return m, nil
+}

@@ -1,0 +1,76 @@
+package queries
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinMixesAreValid(t *testing.T) {
+	if len(Mixes()) < 4 {
+		t.Fatalf("expected at least 4 built-in mixes, got %d", len(Mixes()))
+	}
+	for _, m := range Mixes() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("built-in mix %s invalid: %v", m.Name, err)
+		}
+		if m.Description == "" {
+			t.Errorf("mix %s has no description", m.Name)
+		}
+	}
+}
+
+func TestUniformMixCoversAllQueries(t *testing.T) {
+	m, ok := MixByName("uniform")
+	if !ok {
+		t.Fatal("uniform mix missing")
+	}
+	if got, want := len(m.QueryIDs()), len(All()); got != want {
+		t.Fatalf("uniform covers %d queries, want %d", got, want)
+	}
+	if m.UpdateWeight != 0 {
+		t.Fatal("uniform must be read-only")
+	}
+}
+
+func TestMixedUpdateHasUpdateShare(t *testing.T) {
+	m, ok := MixByName("mixed-update")
+	if !ok {
+		t.Fatal("mixed-update mix missing")
+	}
+	if m.UpdateWeight <= 0 {
+		t.Fatal("mixed-update must carry an update weight")
+	}
+	if frac := float64(m.UpdateWeight) / float64(m.TotalWeight()); frac <= 0 || frac > 0.5 {
+		t.Fatalf("update share %v outside (0, 0.5]", frac)
+	}
+}
+
+func TestMixNamesSorted(t *testing.T) {
+	names := MixNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("MixNames not sorted: %v", names)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	if m, err := ParseMix("lookup-heavy"); err != nil || m.Name != "lookup-heavy" {
+		t.Fatalf("ParseMix(lookup-heavy) = %v, %v", m.Name, err)
+	}
+	m, err := ParseMix("q1:9,q4:1,update:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Weights["q1"] != 9 || m.Weights["q4"] != 1 || m.UpdateWeight != 2 {
+		t.Fatalf("inline mix parsed wrong: %+v", m)
+	}
+	for _, bad := range []string{"nope", "q1:x", "zz:1", "q1:-2", "q1"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Errorf("ParseMix(%q) should fail", bad)
+		}
+	}
+	if _, err := ParseMix("nope"); err == nil || !strings.Contains(err.Error(), "built-ins") {
+		t.Errorf("unknown-name error should list built-ins, got %v", err)
+	}
+}

@@ -10,6 +10,8 @@ package queries
 
 import (
 	"sort"
+	"strings"
+	"sync"
 
 	"sp2bench/internal/rdf"
 	"sp2bench/internal/sparql"
@@ -85,6 +87,27 @@ func SelectIDs() []string {
 	sort.Strings(ids)
 	return ids
 }
+
+// PrologueText renders Prologue as a PREFIX block in sorted order — what
+// backends that cannot take a prefix map (remote endpoints) prepend to
+// the query texts. Computed once: callers sit on per-operation hot
+// paths of the benchmark drivers.
+var PrologueText = sync.OnceValue(func() string {
+	names := make([]string, 0, len(Prologue))
+	for name := range Prologue {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		b.WriteString("PREFIX ")
+		b.WriteString(name)
+		b.WriteString(": <")
+		b.WriteString(Prologue[name])
+		b.WriteString(">\n")
+	}
+	return b.String()
+})
 
 var catalog = []Query{
 	{

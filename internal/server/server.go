@@ -19,6 +19,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"sp2bench/internal/engine"
@@ -44,6 +45,11 @@ type Config struct {
 	// MaxConcurrent caps in-flight evaluations (0 = unlimited). Excess
 	// requests queue until a slot frees or their context ends.
 	MaxConcurrent int
+	// Lock, when non-nil, is held for reading around every evaluation.
+	// It is how a mutable deployment (an update handler holding the
+	// write side) keeps queries off the store while its indexes are
+	// being rebuilt; nil keeps the immutable fast path lock-free.
+	Lock *sync.RWMutex
 	// Logf, when non-nil, receives one line per completed request.
 	Logf func(format string, args ...any)
 }
@@ -141,7 +147,13 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) (int, string) {
 		return httpError(w, http.StatusServiceUnavailable, fmt.Errorf("query timed out"))
 	}
 
+	if s.cfg.Lock != nil {
+		s.cfg.Lock.RLock()
+	}
 	res, graph, err := s.cfg.Engine.Eval(ctx, q)
+	if s.cfg.Lock != nil {
+		s.cfg.Lock.RUnlock()
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, engine.ErrCancelled) || ctx.Err() != nil:

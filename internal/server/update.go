@@ -1,0 +1,94 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/store"
+)
+
+// maxUpdateBytes bounds insert batches. Yearly DBLP deltas are a few
+// MiB at the largest benchmark scales; 64 MiB leaves room for bulk
+// backfills while keeping hostile payloads out of memory.
+const maxUpdateBytes = 64 << 20
+
+// UpdateHandler serves the insert operation of a mutable deployment:
+// POST an application/n-triples body and the statements are added to
+// the store under the write side of lock — the same lock the query
+// handler holds for reading (Config.Lock), so readers never observe the
+// index rebuild mid-flight. The batch is parsed before the lock is
+// taken: a syntax error costs no reader any latency and leaves the
+// store untouched, and the lock is held only for the apply.
+//
+// The response is a small JSON acknowledgment:
+//
+//	{"inserted": <statements parsed>, "triples": <store size after>}
+//
+// where "triples" counts distinct triples (duplicates in the batch or
+// against the store deduplicate on re-freeze).
+func UpdateHandler(st *store.Store, lock *sync.RWMutex, logf func(format string, args ...any)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		status, detail := serveUpdate(st, lock, w, r)
+		if logf != nil {
+			logf("%s %s %d %v %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond), detail)
+		}
+	})
+}
+
+func serveUpdate(st *store.Store, lock *sync.RWMutex, w http.ResponseWriter, r *http.Request) (int, string) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		err := fmt.Errorf("method %s not allowed (want POST)", r.Method)
+		http.Error(w, err.Error(), http.StatusMethodNotAllowed)
+		return http.StatusMethodNotAllowed, err.Error()
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		if mt := strings.SplitN(ct, ";", 2)[0]; mt != "application/n-triples" && mt != "text/plain" {
+			err := fmt.Errorf("unsupported Content-Type %q (want application/n-triples)", ct)
+			http.Error(w, err.Error(), http.StatusUnsupportedMediaType)
+			return http.StatusUnsupportedMediaType, err.Error()
+		}
+	}
+	body := http.MaxBytesReader(w, r.Body, maxUpdateBytes)
+	batch, err := rdf.NewReader(body).ReadAll()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return http.StatusBadRequest, err.Error()
+	}
+
+	lock.Lock()
+	st.UpdateTriples(batch)
+	total := st.Len()
+	lock.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Inserted int `json:"inserted"`
+		Triples  int `json:"triples"`
+	}{len(batch), total})
+	return http.StatusOK, fmt.Sprintf("inserted %d triples (store now %d)", len(batch), total)
+}
+
+// LiveStatsHandler is StatsHandler for a mutable store: the footprint
+// is computed per request under the read lock instead of once at
+// startup, so /stats tracks the update stream.
+func LiveStatsHandler(st *store.Store, lock *sync.RWMutex) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		lock.RLock()
+		f := st.Footprint()
+		lock.RUnlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Triples    int   `json:"triples"`
+			Terms      int   `json:"terms"`
+			IndexBytes int64 `json:"index_bytes"`
+			TermBytes  int64 `json:"term_bytes"`
+		}{f.Triples, f.Terms, f.IndexBytes, f.TermBytes})
+	})
+}

@@ -1,0 +1,145 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"sp2bench/internal/engine"
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/store"
+)
+
+func updateFixture(t *testing.T) (*store.Store, *sync.RWMutex, *httptest.Server, *httptest.Server) {
+	t.Helper()
+	st := store.New()
+	if _, err := st.Load(strings.NewReader("<a> <p> <b> .\n")); err != nil {
+		t.Fatal(err)
+	}
+	var lock sync.RWMutex
+	h, err := New(Config{Engine: engine.New(st, engine.Native()), Lock: &lock})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsrv := httptest.NewServer(h)
+	t.Cleanup(qsrv.Close)
+	usrv := httptest.NewServer(UpdateHandler(st, &lock, nil))
+	t.Cleanup(usrv.Close)
+	return st, &lock, qsrv, usrv
+}
+
+func TestUpdateHandlerInsertsAndQueries(t *testing.T) {
+	st, _, qsrv, usrv := updateFixture(t)
+	resp, err := http.Post(usrv.URL, "application/n-triples",
+		strings.NewReader("<c> <p> <d> .\n<a> <p> <b> .\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var ack struct {
+		Inserted int `json:"inserted"`
+		Triples  int `json:"triples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Inserted != 2 || ack.Triples != 2 { // <a p b> deduplicates
+		t.Fatalf("ack = %+v, want inserted 2, triples 2", ack)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("store has %d triples, want 2", st.Len())
+	}
+	// The inserted triple is visible through the query operation.
+	q, err := http.Get(qsrv.URL + "?query=" + "SELECT%20%3Fo%20WHERE%20%7B%20%3Cc%3E%20%3Cp%3E%20%3Fo%20%7D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Body.Close()
+	var res struct {
+		Results struct {
+			Bindings []map[string]any `json:"bindings"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(q.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results.Bindings) != 1 {
+		t.Fatalf("query after update found %d bindings, want 1", len(res.Results.Bindings))
+	}
+}
+
+func TestUpdateHandlerFaults(t *testing.T) {
+	st, _, _, usrv := updateFixture(t)
+	before := st.Len()
+
+	// GET is not an update.
+	resp, err := http.Get(usrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", resp.StatusCode)
+	}
+
+	// Wrong content type.
+	resp, err = http.Post(usrv.URL, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Errorf("JSON body status %d, want 415", resp.StatusCode)
+	}
+
+	// A syntax error leaves the store untouched.
+	resp, err = http.Post(usrv.URL, "application/n-triples", strings.NewReader("<x> <p> garbage\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad syntax status %d, want 400", resp.StatusCode)
+	}
+	if st.Len() != before {
+		t.Errorf("failed update mutated the store: %d -> %d", before, st.Len())
+	}
+	if !st.Frozen() {
+		t.Error("store must stay frozen after a rejected update")
+	}
+}
+
+func TestLiveStatsHandlerTracksUpdates(t *testing.T) {
+	st, lock, _, _ := updateFixture(t)
+	srv := httptest.NewServer(LiveStatsHandler(st, lock))
+	defer srv.Close()
+	read := func() int {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var s struct {
+			Triples int `json:"triples"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+			t.Fatal(err)
+		}
+		return s.Triples
+	}
+	if got := read(); got != 1 {
+		t.Fatalf("initial triples %d, want 1", got)
+	}
+	lock.Lock()
+	st.UpdateTriples([]rdf.Triple{rdf.NewTriple(rdf.IRI("x"), rdf.IRI("p"), rdf.IRI("y"))})
+	lock.Unlock()
+	if got := read(); got != 2 {
+		t.Fatalf("after update triples %d, want 2", got)
+	}
+}

@@ -31,12 +31,12 @@ func FuzzRead(f *testing.F) {
 
 	f.Add(valid)
 	f.Add([]byte{})
-	f.Add([]byte("SP2BSNAP"))                       // magic only
-	f.Add(valid[:len(valid)/2])                     // truncated mid-section
-	f.Add(append([]byte(nil), valid[:12]...))       // header only
-	f.Add(bytes.Repeat([]byte{0xFF}, 64))           // varint garbage
-	huge := append([]byte(nil), valid...)           // lying section length
-	huge[13] = 0xFF                                 // first section length byte
+	f.Add([]byte("SP2BSNAP"))                 // magic only
+	f.Add(valid[:len(valid)/2])               // truncated mid-section
+	f.Add(append([]byte(nil), valid[:12]...)) // header only
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))     // varint garbage
+	huge := append([]byte(nil), valid...)     // lying section length
+	huge[13] = 0xFF                           // first section length byte
 	f.Add(huge)
 	wrongVer := append([]byte(nil), valid...)
 	wrongVer[8] = 2

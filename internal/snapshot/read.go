@@ -210,7 +210,6 @@ func readSection(cr *crcReader, want byte) ([]byte, error) {
 	return buf, nil
 }
 
-
 // byteCursor walks a section payload with bounds-checked primitive
 // reads.
 type byteCursor struct {

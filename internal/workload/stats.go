@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Result summarizes the measured window of one scenario drive. Latency
+// fields are time.Duration (nanoseconds in JSON); means are in seconds,
+// matching the unit the paper's reporting rules use.
+type Result struct {
+	Mix    string `json:"mix"`
+	Target string `json:"target"`
+	// Scale labels the dataset the drive ran against; the engine leaves
+	// it empty and callers that load data (the harness) fill it in.
+	Scale string `json:"scale,omitempty"`
+	// Mode is "closed-loop" or "open-loop".
+	Mode    string `json:"mode"`
+	Clients int    `json:"clients"`
+	// TargetRate is the configured open-loop arrival rate (0 when
+	// closed-loop); OfferedRate the arrival rate actually generated.
+	TargetRate  float64 `json:"target_rate,omitempty"`
+	OfferedRate float64 `json:"offered_rate,omitempty"`
+	Warmup      float64 `json:"warmup_seconds"`
+	Duration    float64 `json:"duration_seconds"`
+	// Ops counts measured operations; Failures the non-successful
+	// subset; Dropped open-loop arrivals lost to queue overflow (a
+	// saturation signal, always 0 when the backend keeps up).
+	Ops      int `json:"ops"`
+	Failures int `json:"failures"`
+	Dropped  int `json:"dropped,omitempty"`
+	// Updates counts measured update operations, and TriplesApplied is
+	// not tracked here — per-batch sizes live with the target.
+	Updates int `json:"updates,omitempty"`
+	// Throughput is successful operations per second of the measured
+	// window.
+	Throughput float64 `json:"throughput"`
+	// Latency percentiles over all successful operations; open-loop
+	// numbers include queueing delay, and WaitP99 isolates it.
+	P50     time.Duration `json:"p50_ns"`
+	P95     time.Duration `json:"p95_ns"`
+	P99     time.Duration `json:"p99_ns"`
+	WaitP99 time.Duration `json:"wait_p99_ns,omitempty"`
+	// PerQuery holds one entry per operation type that ran, in mix
+	// order, updates (UpdateID) last.
+	PerQuery []QueryStats `json:"per_query"`
+	// Series is the per-bucket throughput time series.
+	Series []Bucket `json:"series"`
+}
+
+// QueryStats aggregates the measured operations of one query (or the
+// update pseudo-query) inside a scenario: count, failures, arithmetic
+// and geometric mean per the paper's Section VI reporting rules, and
+// tail percentiles.
+type QueryStats struct {
+	ID       string `json:"id"`
+	Count    int    `json:"count"`
+	Failures int    `json:"failures"`
+	// MeanSeconds and GeoMeanSeconds are over successful operations.
+	MeanSeconds    float64       `json:"mean_seconds"`
+	GeoMeanSeconds float64       `json:"geomean_seconds"`
+	P50            time.Duration `json:"p50_ns"`
+	P95            time.Duration `json:"p95_ns"`
+	P99            time.Duration `json:"p99_ns"`
+}
+
+// Bucket is one slot of the throughput time series.
+type Bucket struct {
+	// Start is the bucket's offset from the measured window's start, in
+	// seconds.
+	Start float64 `json:"start_seconds"`
+	// Completions counts successful operations that started in the
+	// bucket; Failures the rest.
+	Completions int `json:"completions"`
+	Failures    int `json:"failures"`
+	// P95 is the tail latency of the bucket's successful operations.
+	P95 time.Duration `json:"p95_ns"`
+}
+
+// Percentile reads the p-quantile from an ascending slice using the
+// nearest-rank convention (index ceil(p·n)−1): the median stays a
+// median for tiny samples while tail quantiles still land on the
+// outliers they exist to expose.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// GeoMean returns the geometric mean of positive seconds values,
+// clamping non-positive samples to a nanosecond so a single zero cannot
+// collapse the product — the same convention the harness's global
+// means use.
+func GeoMean(seconds []float64) float64 {
+	if len(seconds) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range seconds {
+		if s <= 0 {
+			s = 1e-9
+		}
+		sum += math.Log(s)
+	}
+	return math.Exp(sum / float64(len(seconds)))
+}
+
+// summarize reduces the raw measurements to the Result. Operations with
+// a negative start offset ran during warmup and are discarded here —
+// recording them and filtering once keeps the workers branch-free.
+func summarize(target string, sc Scenario, raw []opResult, offered, dropped int) *Result {
+	res := &Result{
+		Mix:      sc.Mix.Name,
+		Target:   target,
+		Mode:     "closed-loop",
+		Clients:  sc.Clients,
+		Warmup:   sc.Warmup.Seconds(),
+		Duration: sc.Duration.Seconds(),
+		Dropped:  dropped,
+	}
+	if sc.Rate > 0 {
+		res.Mode = "open-loop"
+		res.TargetRate = sc.Rate
+		res.OfferedRate = float64(offered) / sc.Duration.Seconds()
+	}
+
+	var all, waits []time.Duration
+	byID := map[string][]opResult{}
+	nBuckets := int(math.Ceil(sc.Duration.Seconds() / sc.BucketWidth.Seconds()))
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	bucketLat := make([][]time.Duration, nBuckets)
+	res.Series = make([]Bucket, nBuckets)
+	for i := range res.Series {
+		res.Series[i].Start = float64(i) * sc.BucketWidth.Seconds()
+	}
+
+	for _, r := range raw {
+		if r.start < 0 {
+			continue // warmup
+		}
+		res.Ops++
+		byID[r.id] = append(byID[r.id], r)
+		if r.id == UpdateID {
+			res.Updates++
+		}
+		idx := int(r.start / sc.BucketWidth)
+		if idx >= nBuckets {
+			idx = nBuckets - 1
+		}
+		if !r.ok {
+			res.Failures++
+			res.Series[idx].Failures++
+			continue
+		}
+		res.Series[idx].Completions++
+		bucketLat[idx] = append(bucketLat[idx], r.wall)
+		all = append(all, r.wall)
+		waits = append(waits, r.wait)
+	}
+
+	sortDurations(all)
+	sortDurations(waits)
+	res.P50, res.P95, res.P99 = Percentile(all, 0.50), Percentile(all, 0.95), Percentile(all, 0.99)
+	if res.Mode == "open-loop" {
+		res.WaitP99 = Percentile(waits, 0.99)
+	}
+	res.Throughput = float64(len(all)) / sc.Duration.Seconds()
+	for i, lat := range bucketLat {
+		sortDurations(lat)
+		res.Series[i].P95 = Percentile(lat, 0.95)
+	}
+
+	// Per-query stats in mix order, updates last.
+	ids := sc.Mix.QueryIDs()
+	if sc.Mix.UpdateWeight > 0 {
+		ids = append(ids, UpdateID)
+	}
+	for _, id := range ids {
+		runs := byID[id]
+		if len(runs) == 0 {
+			continue
+		}
+		qs := QueryStats{ID: id, Count: len(runs)}
+		var lat []time.Duration
+		var secs []float64
+		for _, r := range runs {
+			if !r.ok {
+				qs.Failures++
+				continue
+			}
+			lat = append(lat, r.wall)
+			secs = append(secs, r.wall.Seconds())
+			qs.MeanSeconds += r.wall.Seconds()
+		}
+		if len(lat) > 0 {
+			qs.MeanSeconds /= float64(len(lat))
+			qs.GeoMeanSeconds = GeoMean(secs)
+			sortDurations(lat)
+			qs.P50, qs.P95, qs.P99 = Percentile(lat, 0.50), Percentile(lat, 0.95), Percentile(lat, 0.99)
+		} else {
+			qs.MeanSeconds = 0
+		}
+		res.PerQuery = append(res.PerQuery, qs)
+	}
+	return res
+}
+
+func sortDurations(d []time.Duration) {
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+}

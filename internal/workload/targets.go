@@ -1,0 +1,208 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"sp2bench/internal/client"
+	"sp2bench/internal/engine"
+	"sp2bench/internal/gen"
+	"sp2bench/internal/queries"
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/sparql"
+	"sp2bench/internal/store"
+)
+
+// BatchQueue hands out update batches to update operations, cycling
+// when exhausted. Cycling re-inserts triples the store deduplicates on
+// freeze, so a wrapped batch still pays the index rebuild — the
+// dominant update cost — without growing the store unboundedly. Safe
+// for concurrent use.
+type BatchQueue struct {
+	mu      sync.Mutex
+	batches [][]rdf.Triple
+	next    int
+}
+
+// NewBatchQueue wraps the batches; it needs at least one.
+func NewBatchQueue(batches [][]rdf.Triple) (*BatchQueue, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("workload: no update batches")
+	}
+	return &BatchQueue{batches: batches}, nil
+}
+
+// Next returns the next batch, cycling.
+func (q *BatchQueue) Next() []rdf.Triple {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.batches[q.next]
+	q.next = (q.next + 1) % len(q.batches)
+	return b
+}
+
+// Len returns the number of distinct batches.
+func (q *BatchQueue) Len() int { return len(q.batches) }
+
+// UpdateBatches generates n yearly DBLP insert batches that continue
+// the generator's timeline past endYear: the same gen.UpdateStream the
+// paper's proposed update extension rests on, with the base document
+// (years up to endYear) discarded — a scenario applies the deltas to a
+// store that already holds data for those years. Pass the loaded
+// document's gen.Stats.EndYear as endYear so the batches extend the
+// store's own timeline.
+func UpdateBatches(seed uint64, endYear, n int) ([][]rdf.Triple, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: need a positive batch count")
+	}
+	p := gen.DefaultParams(0)
+	p.TripleLimit = 0
+	p.Seed = seed
+	if endYear < p.StartYear {
+		return nil, fmt.Errorf("workload: end year %d before generator start year %d", endYear, p.StartYear)
+	}
+	p.EndYear = endYear + n
+	var bufs []*bytes.Buffer
+	if _, err := gen.UpdateStream(p, io.Discard, endYear, func(year int) io.Writer {
+		b := &bytes.Buffer{}
+		bufs = append(bufs, b)
+		return b
+	}); err != nil {
+		return nil, err
+	}
+	batches := make([][]rdf.Triple, 0, len(bufs))
+	for _, b := range bufs {
+		ts, err := rdf.NewReader(b).ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		batches = append(batches, ts)
+	}
+	return batches, nil
+}
+
+// StoreShared is the state every StoreTarget of one scenario shares: the
+// store, the reader/writer lock that serializes updates against queries
+// (the sorted-array store rebuilds its indexes on update, which readers
+// must not observe mid-flight), and the update batch queue.
+type StoreShared struct {
+	st      *store.Store
+	opts    engine.Options
+	name    string
+	mu      sync.RWMutex
+	batches *BatchQueue
+	applied int
+}
+
+// NewStoreShared prepares a store for scenario driving. batches may be
+// nil for read-only mixes.
+func NewStoreShared(name string, st *store.Store, opts engine.Options, batches *BatchQueue) *StoreShared {
+	return &StoreShared{name: name, st: st, opts: opts, batches: batches}
+}
+
+// TriplesApplied reports how many statements update operations inserted
+// (before store-side deduplication).
+func (s *StoreShared) TriplesApplied() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.applied
+}
+
+// Factory returns a TargetFactory building one StoreTarget per worker.
+// Targets share the lock and batch queue but own their engine instance
+// and parse cache (neither is safe for concurrent use). Construction
+// holds the write lock: engine.New freezes a thawed store, which must
+// not interleave with an update already in flight on another worker.
+func (s *StoreShared) Factory() TargetFactory {
+	return func() Target {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return &StoreTarget{
+			shared: s,
+			eng:    engine.New(s.st, s.opts),
+			parsed: map[string]*sparql.Query{},
+		}
+	}
+}
+
+// StoreTarget drives an in-process engine over the shared store. Query
+// operations hold the read lock; updates the write lock.
+type StoreTarget struct {
+	shared *StoreShared
+	eng    *engine.Engine
+	parsed map[string]*sparql.Query
+}
+
+// Name implements Target.
+func (t *StoreTarget) Name() string { return t.shared.name }
+
+// Execute implements Target. Parsing is cached outside the lock — the
+// protocol measures evaluation, and the cache makes repeat draws of a
+// query (the point of a weighted mix) parser-free.
+func (t *StoreTarget) Execute(ctx context.Context, q queries.Query) (int, error) {
+	pq, ok := t.parsed[q.ID]
+	if !ok {
+		var err error
+		pq, err = sparql.Parse(q.Text, queries.Prologue)
+		if err != nil {
+			return 0, err
+		}
+		t.parsed[q.ID] = pq
+	}
+	t.shared.mu.RLock()
+	defer t.shared.mu.RUnlock()
+	return t.eng.Count(ctx, pq)
+}
+
+// ApplyUpdate implements Updater: it applies the next insert batch
+// under the write lock, paying the store's honest re-freeze cost while
+// every reader waits — exactly the contention the mixed-update mix
+// exists to measure.
+func (t *StoreTarget) ApplyUpdate(ctx context.Context) (int, error) {
+	if t.shared.batches == nil {
+		return 0, fmt.Errorf("workload: store target has no update batches")
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	batch := t.shared.batches.Next()
+	t.shared.mu.Lock()
+	defer t.shared.mu.Unlock()
+	t.shared.st.UpdateTriples(batch)
+	t.shared.applied += len(batch)
+	return len(batch), nil
+}
+
+// EndpointTarget drives a remote SPARQL endpoint: queries via the
+// protocol client, updates (when batches are set) via the endpoint's
+// insert operation — which makes the open loop and the update stream
+// work over HTTP exactly as they do in process.
+type EndpointTarget struct {
+	c       *client.Client
+	batches *BatchQueue
+}
+
+// NewEndpointTarget wraps a protocol client; batches may be nil for
+// read-only mixes.
+func NewEndpointTarget(c *client.Client, batches *BatchQueue) *EndpointTarget {
+	return &EndpointTarget{c: c, batches: batches}
+}
+
+// Name implements Target.
+func (t *EndpointTarget) Name() string { return "endpoint" }
+
+// Execute implements Target.
+func (t *EndpointTarget) Execute(ctx context.Context, q queries.Query) (int, error) {
+	return t.c.Count(ctx, queries.PrologueText()+q.Text)
+}
+
+// ApplyUpdate implements Updater.
+func (t *EndpointTarget) ApplyUpdate(ctx context.Context) (int, error) {
+	if t.batches == nil {
+		return 0, fmt.Errorf("workload: endpoint target has no update batches")
+	}
+	return t.c.Update(ctx, t.batches.Next())
+}

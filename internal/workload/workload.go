@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"sp2bench/internal/queries"
+)
+
+// Target is one backend a scenario drives. Implementations are not
+// required to be safe for concurrent use: the runner builds one target
+// per worker through a TargetFactory (mirroring the harness's
+// executor-per-client contract), and implementations share state
+// through their own synchronization (see StoreTarget).
+type Target interface {
+	// Name labels the backend in results ("native", "endpoint", ...).
+	Name() string
+	// Execute runs q to completion and returns its solution count.
+	Execute(ctx context.Context, q queries.Query) (int, error)
+}
+
+// Updater is the optional Target refinement for mixes with an update
+// share: ApplyUpdate applies the next insert batch and returns the
+// number of statements in it. Scheduling an update op against a target
+// without it is a configuration error Run reports up front.
+type Updater interface {
+	ApplyUpdate(ctx context.Context) (int, error)
+}
+
+// TargetFactory builds one target per worker.
+type TargetFactory func() Target
+
+// UpdateID is the pseudo query ID under which update operations are
+// accounted in per-operation statistics.
+const UpdateID = "update"
+
+// Scenario configures one workload drive.
+type Scenario struct {
+	// Mix is the weighted operation mix to draw from.
+	Mix queries.Mix
+	// Clients is the closed-loop worker count (default 1). With Rate set
+	// it instead bounds the open-loop dispatch pool (default
+	// 4×GOMAXPROCS there: an open loop needs enough workers that the
+	// arrival process, not the pool, limits concurrency).
+	Clients int
+	// Rate, when positive, switches to the open loop: operations arrive
+	// on a Poisson process at this many per second.
+	Rate float64
+	// Warmup runs the mix without recording before measurement starts.
+	Warmup time.Duration
+	// Duration is the measured window (required).
+	Duration time.Duration
+	// Timeout bounds each operation (default 15s).
+	Timeout time.Duration
+	// BucketWidth is the throughput time-series resolution (default 1s).
+	BucketWidth time.Duration
+	// Seed feeds operation sampling and arrival scheduling; runs with
+	// equal seeds draw identical operation sequences.
+	Seed uint64
+}
+
+func (sc *Scenario) defaults() error {
+	if err := sc.Mix.Validate(); err != nil {
+		return err
+	}
+	if sc.Duration <= 0 {
+		return fmt.Errorf("workload: scenario needs a positive duration")
+	}
+	if sc.Rate < 0 {
+		return fmt.Errorf("workload: negative rate")
+	}
+	if sc.Clients <= 0 {
+		if sc.Rate > 0 {
+			sc.Clients = 4 * runtime.GOMAXPROCS(0)
+		} else {
+			sc.Clients = 1
+		}
+	}
+	if sc.Timeout <= 0 {
+		sc.Timeout = 15 * time.Second
+	}
+	if sc.BucketWidth <= 0 {
+		sc.BucketWidth = time.Second
+	}
+	return nil
+}
+
+// op is one scheduled operation: a benchmark query, or an update when
+// update is set.
+type op struct {
+	query  queries.Query
+	update bool
+}
+
+func (o op) id() string {
+	if o.update {
+		return UpdateID
+	}
+	return o.query.ID
+}
+
+// sampler draws operations from a mix by weight. Not safe for
+// concurrent use; every goroutine that samples owns one.
+type sampler struct {
+	rng   *rand.Rand
+	ops   []op
+	cum   []int
+	total int
+}
+
+func newSampler(m queries.Mix, seed uint64) *sampler {
+	s := &sampler{rng: rand.New(rand.NewSource(int64(seed)))}
+	for _, id := range m.QueryIDs() {
+		q, _ := queries.ByID(id)
+		s.total += m.Weights[id]
+		s.ops = append(s.ops, op{query: q})
+		s.cum = append(s.cum, s.total)
+	}
+	if m.UpdateWeight > 0 {
+		s.total += m.UpdateWeight
+		s.ops = append(s.ops, op{update: true})
+		s.cum = append(s.cum, s.total)
+	}
+	return s
+}
+
+func (s *sampler) next() op {
+	n := s.rng.Intn(s.total)
+	for i, c := range s.cum {
+		if n < c {
+			return s.ops[i]
+		}
+	}
+	return s.ops[len(s.ops)-1] // unreachable: cum ends at total
+}
+
+// expFloat returns an exponential variate with the given rate — the
+// inter-arrival time of the Poisson process.
+func (s *sampler) interArrival(rate float64) time.Duration {
+	return time.Duration(s.rng.ExpFloat64() / rate * float64(time.Second))
+}
+
+// opResult is one measured operation.
+type opResult struct {
+	id string
+	// start is the operation's offset from the start of the measured
+	// window: dispatch time (closed loop) or scheduled arrival (open
+	// loop). Negative offsets are warmup and are discarded.
+	start time.Duration
+	// wall is the full latency: service time, plus (open loop) the time
+	// the operation waited for a free worker after its arrival.
+	wall time.Duration
+	// wait is the open-loop queueing component of wall.
+	wait time.Duration
+	ok   bool
+}
+
+// Run drives one scenario against the targets the factory builds and
+// summarizes the measured window. The context cancels the whole drive.
+func Run(ctx context.Context, factory TargetFactory, sc Scenario) (*Result, error) {
+	if err := (&sc).defaults(); err != nil {
+		return nil, err
+	}
+	probe := factory()
+	if sc.Mix.UpdateWeight > 0 {
+		if _, ok := probe.(Updater); !ok {
+			return nil, fmt.Errorf("workload: mix %s has an update share but target %s cannot apply updates",
+				sc.Mix.Name, probe.Name())
+		}
+	}
+
+	var (
+		results []opResult
+		dropped int
+		offered int
+		err     error
+	)
+	if sc.Rate > 0 {
+		results, offered, dropped, err = runOpenLoop(ctx, factory, probe, sc)
+	} else {
+		results, err = runClosedLoop(ctx, factory, probe, sc)
+		offered = len(results)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return summarize(probe.Name(), sc, results, offered, dropped), nil
+}
+
+// runClosedLoop starts sc.Clients workers that each issue their next
+// operation the moment the previous one returns, for warmup+duration.
+// The probe target (already built) serves worker 0.
+func runClosedLoop(ctx context.Context, factory TargetFactory, probe Target, sc Scenario) ([]opResult, error) {
+	begin := time.Now()
+	measureStart := begin.Add(sc.Warmup)
+	deadline := measureStart.Add(sc.Duration)
+
+	perWorker := make([][]opResult, sc.Clients)
+	var wg sync.WaitGroup
+	for w := 0; w < sc.Clients; w++ {
+		t := probe
+		if w > 0 {
+			t = factory()
+		}
+		wg.Add(1)
+		go func(w int, t Target) {
+			defer wg.Done()
+			// Workers draw from disjoint streams: same scenario seed,
+			// worker-distinct offset.
+			smp := newSampler(sc.Mix, sc.Seed+uint64(w)*0x9e3779b97f4a7c15)
+			var out []opResult
+			for {
+				start := time.Now()
+				if !start.Before(deadline) || ctx.Err() != nil {
+					break
+				}
+				o := smp.next()
+				res := execute(ctx, t, o, sc.Timeout)
+				res.start = start.Sub(measureStart)
+				out = append(out, res)
+			}
+			perWorker[w] = out
+		}(w, t)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return nil, ctx.Err()
+	}
+	var all []opResult
+	for _, rs := range perWorker {
+		all = append(all, rs...)
+	}
+	return all, nil
+}
+
+// execute runs one operation under the per-op timeout and classifies it.
+func execute(ctx context.Context, t Target, o op, timeout time.Duration) opResult {
+	opCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	start := time.Now()
+	var err error
+	if o.update {
+		_, err = t.(Updater).ApplyUpdate(opCtx)
+	} else {
+		_, err = t.Execute(opCtx, o.query)
+	}
+	return opResult{id: o.id(), wall: time.Since(start), ok: err == nil}
+}

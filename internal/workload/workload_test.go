@@ -1,0 +1,366 @@
+package workload_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"sp2bench/internal/client"
+	"sp2bench/internal/engine"
+	"sp2bench/internal/gen"
+	"sp2bench/internal/queries"
+	"sp2bench/internal/server"
+	"sp2bench/internal/store"
+	"sp2bench/internal/workload"
+)
+
+// stubTarget answers instantly (optionally after a fixed delay) without
+// touching a store — scenario-machinery tests must not depend on engine
+// speed.
+type stubTarget struct {
+	delay time.Duration
+}
+
+func (s *stubTarget) Name() string { return "stub" }
+
+func (s *stubTarget) Execute(ctx context.Context, q queries.Query) (int, error) {
+	if s.delay > 0 {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	return 1, nil
+}
+
+func stubFactory(delay time.Duration) workload.TargetFactory {
+	return func() workload.Target { return &stubTarget{delay: delay} }
+}
+
+func mustMix(t *testing.T, name string) queries.Mix {
+	t.Helper()
+	m, err := queries.ParseMix(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	d := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := workload.Percentile(d, 0.50); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := workload.Percentile(d, 0.95); got != 10 {
+		t.Errorf("p95 = %v, want 10", got)
+	}
+	if got := workload.Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty p50 = %v, want 0", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	// geomean(1, 4, 16) = (1·4·16)^(1/3) = 4.
+	if got := workload.GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	// A zero clamps to 1e-9 instead of collapsing the product.
+	if got := workload.GeoMean([]float64{0, 1}); got <= 0 {
+		t.Errorf("GeoMean with zero = %v, want positive", got)
+	}
+	if got := workload.GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil) = %v, want 0", got)
+	}
+}
+
+func TestClosedLoopScenario(t *testing.T) {
+	sc := workload.Scenario{
+		Mix:         mustMix(t, "lookup-heavy"),
+		Clients:     4,
+		Duration:    200 * time.Millisecond,
+		BucketWidth: 50 * time.Millisecond,
+		Seed:        7,
+	}
+	res, err := workload.Run(context.Background(), stubFactory(time.Millisecond), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "closed-loop" || res.Clients != 4 {
+		t.Fatalf("mode/clients = %s/%d", res.Mode, res.Clients)
+	}
+	if res.Ops == 0 || res.Failures != 0 {
+		t.Fatalf("ops=%d failures=%d", res.Ops, res.Failures)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("no throughput")
+	}
+	if len(res.Series) != 4 {
+		t.Fatalf("series has %d buckets, want 4", len(res.Series))
+	}
+	sum := 0
+	for _, b := range res.Series {
+		sum += b.Completions + b.Failures
+	}
+	if sum != res.Ops {
+		t.Fatalf("series sums to %d ops, want %d", sum, res.Ops)
+	}
+	mixIDs := map[string]bool{}
+	for _, id := range sc.Mix.QueryIDs() {
+		mixIDs[id] = true
+	}
+	perQuery := 0
+	for _, qs := range res.PerQuery {
+		if !mixIDs[qs.ID] {
+			t.Errorf("per-query stats for %s, not in mix", qs.ID)
+		}
+		if qs.Count > 0 && qs.GeoMeanSeconds <= 0 {
+			t.Errorf("%s: geomean %v", qs.ID, qs.GeoMeanSeconds)
+		}
+		perQuery += qs.Count
+	}
+	if perQuery != res.Ops {
+		t.Fatalf("per-query counts sum to %d, want %d", perQuery, res.Ops)
+	}
+}
+
+func TestOpenLoopScenarioHoldsRate(t *testing.T) {
+	sc := workload.Scenario{
+		Mix:      mustMix(t, "uniform"),
+		Rate:     500,
+		Warmup:   100 * time.Millisecond,
+		Duration: 400 * time.Millisecond,
+		Seed:     3,
+	}
+	res, err := workload.Run(context.Background(), stubFactory(0), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != "open-loop" || res.TargetRate != 500 {
+		t.Fatalf("mode/rate = %s/%v", res.Mode, res.TargetRate)
+	}
+	// Poisson with mean 200 arrivals in the window; ±50% is far beyond
+	// any plausible statistical fluctuation and still catches a broken
+	// scheduler.
+	if res.OfferedRate < 250 || res.OfferedRate > 750 {
+		t.Fatalf("offered rate %v nowhere near target 500", res.OfferedRate)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("%d drops against an instant stub", res.Dropped)
+	}
+	if res.Ops == 0 {
+		t.Fatal("no measured ops")
+	}
+	if res.P99 < res.P50 {
+		t.Fatalf("p99 %v < p50 %v", res.P99, res.P50)
+	}
+}
+
+func TestOpenLoopLatencyIncludesQueueDelay(t *testing.T) {
+	// 1 worker, 10ms service, arrivals at 400/s: the queue builds, and
+	// because open-loop latency is measured from the scheduled arrival,
+	// the tail must dwarf the 10ms service time.
+	sc := workload.Scenario{
+		Mix:      mustMix(t, "q1:1"),
+		Rate:     400,
+		Clients:  1,
+		Duration: 300 * time.Millisecond,
+		Timeout:  5 * time.Second,
+		Seed:     11,
+	}
+	res, err := workload.Run(context.Background(), stubFactory(10*time.Millisecond), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P99 < 30*time.Millisecond {
+		t.Fatalf("p99 %v does not show queueing delay (service is 10ms)", res.P99)
+	}
+	if res.WaitP99 == 0 {
+		t.Fatal("open loop must report the queueing component")
+	}
+}
+
+func TestUpdateMixNeedsUpdater(t *testing.T) {
+	sc := workload.Scenario{
+		Mix:      mustMix(t, "mixed-update"),
+		Duration: 50 * time.Millisecond,
+	}
+	if _, err := workload.Run(context.Background(), stubFactory(0), sc); err == nil {
+		t.Fatal("update mix against a read-only target must fail up front")
+	}
+}
+
+// buildStore generates a small benchmark document and loads it.
+func buildStore(t *testing.T, triples int64) (*store.Store, *gen.Stats) {
+	t.Helper()
+	var buf bytes.Buffer
+	p := gen.DefaultParams(triples)
+	p.Seed = 1
+	g, err := gen.New(p, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := g.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New()
+	if _, err := st.Ingest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	st.Freeze()
+	return st, stats
+}
+
+func TestStoreTargetMixedUpdateScenario(t *testing.T) {
+	st, stats := buildStore(t, 2000)
+	before := st.Len()
+	batches, err := workload.UpdateBatches(1, stats.EndYear, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batches) != 4 {
+		t.Fatalf("got %d batches, want 4", len(batches))
+	}
+	for i, b := range batches {
+		if len(b) == 0 {
+			t.Fatalf("batch %d is empty", i)
+		}
+	}
+	bq, err := workload.NewBatchQueue(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := workload.NewStoreShared("native", st, engine.Native(), bq)
+	sc := workload.Scenario{
+		Mix:      mustMix(t, "q1:1,q10:1,update:1"),
+		Clients:  4,
+		Duration: 300 * time.Millisecond,
+		Seed:     5,
+	}
+	res, err := workload.Run(context.Background(), shared.Factory(), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("%d failures in mixed-update drive", res.Failures)
+	}
+	if res.Updates == 0 {
+		t.Fatal("no update ops measured (update weight is 1/3)")
+	}
+	if shared.TriplesApplied() == 0 {
+		t.Fatal("no triples applied")
+	}
+	if st.Len() <= before {
+		t.Fatalf("store did not grow: %d -> %d", before, st.Len())
+	}
+	if !st.Frozen() {
+		t.Fatal("store must end frozen")
+	}
+	found := false
+	for _, qs := range res.PerQuery {
+		if qs.ID == workload.UpdateID {
+			found = true
+			if qs.Count != res.Updates {
+				t.Fatalf("update stats count %d != %d", qs.Count, res.Updates)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no per-query stats for updates")
+	}
+}
+
+func TestEndpointTargetOverHTTP(t *testing.T) {
+	st, stats := buildStore(t, 2000)
+	var lock sync.RWMutex
+	h, err := server.New(server.Config{
+		Engine: engine.New(st, engine.Native()),
+		Lock:   &lock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsrv := httptest.NewServer(h)
+	defer qsrv.Close()
+	usrv := httptest.NewServer(server.UpdateHandler(st, &lock, nil))
+	defer usrv.Close()
+
+	batches, err := workload.UpdateBatches(1, stats.EndYear, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bq, err := workload.NewBatchQueue(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := client.New(qsrv.URL, client.WithUpdateEndpoint(usrv.URL))
+	target := workload.NewEndpointTarget(c, bq)
+	factory := func() workload.Target { return target }
+
+	before := st.Len()
+	sc := workload.Scenario{
+		Mix:      mustMix(t, "q1:2,update:1"),
+		Rate:     100,
+		Duration: 300 * time.Millisecond,
+		Seed:     9,
+	}
+	res, err := workload.Run(context.Background(), factory, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("%d failures over HTTP", res.Failures)
+	}
+	if res.Updates == 0 {
+		t.Fatal("no updates reached the endpoint")
+	}
+	if st.Len() <= before {
+		t.Fatal("endpoint store did not grow")
+	}
+}
+
+func TestScenarioSeedDeterminism(t *testing.T) {
+	// Two closed-loop runs with one worker and the same seed must draw
+	// the same operation sequence (timings differ; the draw may not).
+	count := func() map[string]int {
+		sc := workload.Scenario{
+			Mix:      mustMix(t, "lookup-heavy"),
+			Clients:  1,
+			Duration: 100 * time.Millisecond,
+			Seed:     42,
+		}
+		res, err := workload.Run(context.Background(), stubFactory(0), sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[string]int{}
+		for _, qs := range res.PerQuery {
+			out[qs.ID] = 1 // presence, not count: durations differ across runs
+		}
+		return out
+	}
+	a, b := count(), count()
+	for id := range a {
+		if b[id] == 0 {
+			t.Fatalf("query %s drawn in run A but not run B", id)
+		}
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	if _, err := workload.Run(context.Background(), stubFactory(0), workload.Scenario{
+		Mix: mustMix(t, "uniform"),
+	}); err == nil {
+		t.Fatal("zero duration must fail")
+	}
+	if _, err := workload.Run(context.Background(), stubFactory(0), workload.Scenario{
+		Mix: queries.Mix{Name: "empty"}, Duration: time.Second,
+	}); err == nil {
+		t.Fatal("empty mix must fail")
+	}
+}
