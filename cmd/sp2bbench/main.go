@@ -77,6 +77,7 @@ func main() {
 		clients    = flag.Int("clients", 1, "concurrent clients driving the query mix (1 = sequential protocol)")
 		endpoint   = flag.String("endpoint", "", "benchmark a remote SPARQL endpoint at this URL instead of the in-process engines")
 		queryIDs   = flag.String("queries", "", "comma-separated benchmark query ids to run (default: all 17)")
+		engines    = flag.String("engines", "", "comma-separated engine configurations (default: mem,native; see -experiment ablation for the full set, e.g. native-nlj)")
 		seed       = flag.Uint64("seed", 1, "generator seed")
 		memLimit   = flag.Uint64("memlimit", 0, "heap limit in bytes (0 = off)")
 		workdir    = flag.String("workdir", "", "directory caching generated documents and their .sp2b snapshots")
@@ -118,6 +119,13 @@ func main() {
 			}
 			cfg.QueryIDs = append(cfg.QueryIDs, id)
 		}
+	}
+	if *engines != "" {
+		es, err := harness.ParseEngines(*engines)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Engines = es
 	}
 	if *mixName != "" {
 		cfg.Mix = *mixName
@@ -174,7 +182,11 @@ func main() {
 		}
 		return
 	case "ablation":
-		cfg.Engines = harness.AblationEngines()
+		if *engines != "" {
+			fmt.Fprintln(os.Stderr, "sp2bbench: -engines given, keeping that selection for the ablation run")
+		} else {
+			cfg.Engines = harness.AblationEngines()
+		}
 	}
 
 	runner, err := harness.NewRunner(cfg)

@@ -81,24 +81,21 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loaded %d triples in %v\n", db.Len(), time.Since(loadStart).Round(time.Millisecond))
 
-	if *explain {
-		q, err := sparql.Parse(text, queries.Prologue)
-		if err != nil {
-			fatal(err)
-		}
-		plan, err := db.Engine().Explain(q)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprint(os.Stderr, plan)
-	}
-
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
 	parsed, err := sparql.Parse(text, queries.Prologue)
 	if err != nil {
 		fatal(err)
+	}
+	if *explain {
+		// The physical plan: BGP reorderings and the operator chosen per
+		// join step (scan/nl/merge/hash/hashseg, parallel partitions).
+		plan, err := db.Engine().Explain(parsed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprint(os.Stderr, plan)
 	}
 	start := time.Now()
 	if *countOnly {

@@ -239,6 +239,19 @@ func isStringish(t rdf.Term) bool {
 	return t.Datatype == "" || t.Datatype == rdf.XSDString
 }
 
+// EqualTerms applies RDFterm-equal to two bound terms. The engine's
+// compiled filter fast path calls it directly, skipping expression-tree
+// dispatch and Binding lookups on hot per-row comparisons.
+func EqualTerms(a, b rdf.Term) (bool, error) {
+	return valueEqual(TermValue(a), TermValue(b))
+}
+
+// CompareTerms applies the ordering comparison of <, >, <=, >= to two
+// bound terms, with the same errors valueCompare raises.
+func CompareTerms(a, b rdf.Term) (int, error) {
+	return valueCompare(TermValue(a), TermValue(b))
+}
+
 // SplitConjuncts decomposes a filter expression into its top-level &&
 // conjuncts. The native engine uses it for filter pushing: each conjunct
 // can be placed independently at the earliest point where its variables

@@ -284,6 +284,12 @@ func (c *compiled) buildBGP(patterns []sparql.TriplePattern, conjuncts []sparql.
 		last := len(b.steps) - 1
 		b.steps[last].filters = append(b.steps[last].filters, residual...)
 	}
+	// The physical-operator layer upgrades join steps (merge/hash joins,
+	// parallel partitioned scan) when the engine options enable it; the
+	// backtracker above stays the fallback.
+	if phys := c.planBGP(b, ordered, outer); phys != nil {
+		return phys, nil
+	}
 	return b, nil
 }
 

@@ -23,18 +23,40 @@ type compiled struct {
 	projSlots  []int
 	cancel     *canceller
 	notes      []string // optimizer decisions, for Explain
+	// cleanups release resources held by operators that outlive a single
+	// next() call — parallel BGP workers register their shutdown here.
+	// The evaluation entry points run them when the query ends, whether
+	// it ran to exhaustion or stopped early (ASK, LIMIT).
+	cleanups []func()
 }
 
-// canceller amortizes context checks over many iterator steps.
+func (c *compiled) close() {
+	for _, f := range c.cleanups {
+		f()
+	}
+}
+
+// canceller amortizes context checks over many iterator steps. A non-nil
+// stop channel additionally cancels when closed — parallel BGP workers
+// use it so an abandoned query stops them even under a background
+// context.
 type canceller struct {
-	ctx context.Context
-	n   uint32
+	ctx  context.Context
+	stop <-chan struct{}
+	n    uint32
 }
 
 func (c *canceller) check() error {
 	c.n++
 	if c.n&1023 != 0 {
 		return nil
+	}
+	if c.stop != nil {
+		select {
+		case <-c.stop:
+			return fmt.Errorf("%w: query abandoned", ErrCancelled)
+		default:
+		}
 	}
 	return ctxErr(c.ctx)
 }

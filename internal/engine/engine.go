@@ -45,6 +45,24 @@ type Options struct {
 	// and, when the join condition contains var=var equalities across the
 	// two sides, probes them by hash instead of scanning.
 	HashLeftJoins bool
+	// HashJoins enables the physical-operator layer's hash joins inside
+	// BGPs: a join step whose estimated input exceeds a threshold builds a
+	// hash table on the smaller estimated side — the step's matching
+	// triples, or a disconnected trailing block linked by an equality
+	// filter (the Q5a shape) — instead of probing the index per row.
+	HashJoins bool
+	// MergeJoins evaluates a join step by merging two index ranges
+	// co-sorted on the shared variable (the RDF-3X fast path over the
+	// store's SPO/POS/OSP permutations).
+	MergeJoins bool
+	// Parallel partitions the first pattern's index range of top-level
+	// BGPs across GOMAXPROCS workers, each running the full join pipeline
+	// on its slice, with an order-preserving result merge.
+	Parallel bool
+	// ParallelWorkers overrides the worker count used when Parallel is
+	// set; 0 means GOMAXPROCS. Tests use it to force multi-worker plans
+	// on single-core machines.
+	ParallelWorkers int
 }
 
 // Mem returns the in-memory engine configuration (the paper's
@@ -60,6 +78,9 @@ func Native() Options {
 		ReorderPatterns: true,
 		PushFilters:     true,
 		HashLeftJoins:   true,
+		HashJoins:       true,
+		MergeJoins:      true,
+		Parallel:        true,
 	}
 }
 
@@ -124,6 +145,7 @@ func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer c.close()
 	if q.Form == sparql.FormAsk {
 		c.root.open(c.emptyRow())
 		_, ok, err := c.root.next()
@@ -171,6 +193,7 @@ func (e *Engine) Count(ctx context.Context, q *sparql.Query) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	defer c.close()
 	c.root.open(c.emptyRow())
 	n := 0
 	for {

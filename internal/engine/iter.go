@@ -371,11 +371,12 @@ func (d *distinctIter) next() ([]store.ID, bool, error) {
 		for _, v := range row {
 			d.key = append(d.key, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 		}
-		k := string(d.key)
-		if _, dup := d.seen[k]; dup {
+		// The indexed string(d.key) conversions compile to allocation-free
+		// map operations; only a genuinely new row allocates its key.
+		if _, dup := d.seen[string(d.key)]; dup {
 			continue
 		}
-		d.seen[k] = struct{}{}
+		d.seen[string(d.key)] = struct{}{}
 		return row, true, nil
 	}
 }

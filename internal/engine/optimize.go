@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"sp2bench/internal/sparql"
 	"sp2bench/internal/store"
 )
@@ -28,6 +30,13 @@ func (c *compiled) reorder(patterns []sparql.TriplePattern, outer []string) []sp
 				bestIdx, bestCost = i, cost
 			}
 		}
+		// The anchor tie-break trades up to 50% of scan cost for a sort
+		// order only merge joins can exploit — engines without them must
+		// keep the plain cheapest-first order (the ablation baselines
+		// would otherwise absorb part of the merge-aware plan change).
+		if len(ordered) == 0 && len(outer) == 0 && c.eng.opts.MergeJoins {
+			bestIdx = c.preferSortedAnchor(remaining, bestIdx, bestCost)
+		}
 		chosen := remaining[bestIdx]
 		ordered = append(ordered, chosen)
 		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
@@ -35,10 +44,148 @@ func (c *compiled) reorder(patterns []sparql.TriplePattern, outer []string) []sp
 			bound[v] = true
 		}
 	}
+	ordered = c.swapDisconnectedBlocks(ordered, outer)
 	if fmtOrder(patterns) != fmtOrder(ordered) {
 		c.notes = append(c.notes, "bgp reordered: "+fmtOrder(ordered))
 	}
 	return ordered
+}
+
+// preferSortedAnchor is the merge-aware tie-break for the first pattern
+// of a BGP (the anchor the physical layer scans): among candidates whose
+// cost is within 50% of the cheapest, prefer the one whose index-ordered
+// scan emits rows sorted by a variable shared with the most remaining
+// patterns — that sort order is what makes merge joins applicable
+// downstream. Star queries like Q2 pick the pattern sorted by the star's
+// center instead of an arbitrary cost tie.
+func (c *compiled) preferSortedAnchor(remaining []sparql.TriplePattern, bestIdx int, bestCost float64) int {
+	none := map[string]bool{}
+	utility := func(idx int) int {
+		v := c.scanSortVar(remaining[idx])
+		if v == "" {
+			return 0
+		}
+		n := 0
+		for i, p := range remaining {
+			if i == idx {
+				continue
+			}
+			for _, pv := range p.Vars() {
+				if pv == v {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+	chosen, chosenUtil := bestIdx, utility(bestIdx)
+	for i := range remaining {
+		if i == bestIdx {
+			continue
+		}
+		if c.estimate(remaining[i], none) > bestCost*1.5 {
+			continue
+		}
+		if u := utility(i); u > chosenUtil || (u == chosenUtil && i < chosen && chosen != bestIdx) {
+			chosen, chosenUtil = i, u
+		}
+	}
+	return chosen
+}
+
+// scanSortVar is the variable an index scan of the pattern's constants
+// emits its rows sorted by ("" when the lead components are not
+// variables) — the AST-level twin of leadVarSlot.
+func (c *compiled) scanSortVar(p sparql.TriplePattern) string {
+	resolve := func(t sparql.PatternTerm) bool { // bound as a constant?
+		if t.IsVar {
+			return false
+		}
+		_, ok := c.eng.st.Dict().Lookup(t.Term)
+		return ok
+	}
+	sConst, pConst, oConst := resolve(p.S), resolve(p.P), resolve(p.O)
+	ord := store.ChooseOrder(sConst, pConst, oConst)
+	consts := [3]bool{sConst, pConst, oConst}
+	terms := [3]sparql.PatternTerm{p.S, p.P, p.O}
+	lead := 0
+	for lead < 3 && consts[ordPos[ord][lead]] {
+		lead++
+	}
+	for i := lead; i < 3; i++ {
+		t := terms[ordPos[ord][i]]
+		if t.IsVar {
+			return t.Var
+		}
+	}
+	return ""
+}
+
+// swapDisconnectedBlocks improves cross-product plans: when the greedy
+// order ends in a block of patterns sharing no variable with the head (a
+// cross product the physical layer evaluates by materializing and hashing
+// the trailing block), the *smaller* estimated block should trail — it is
+// the build side. If the trailing block is the larger one, the two blocks
+// are swapped so the big side streams and the small side is built.
+func (c *compiled) swapDisconnectedBlocks(ordered []sparql.TriplePattern, outer []string) []sparql.TriplePattern {
+	cut := disconnectedCut(ordered, outer)
+	if cut <= 0 {
+		return ordered
+	}
+	headEst := c.blockEstimate(ordered[:cut], outer)
+	tailEst := c.blockEstimate(ordered[cut:], outer)
+	if tailEst <= headEst {
+		return ordered
+	}
+	swapped := make([]sparql.TriplePattern, 0, len(ordered))
+	swapped = append(swapped, ordered[cut:]...)
+	swapped = append(swapped, ordered[:cut]...)
+	// The swap is only valid if the old head is disconnected from the new
+	// one too (symmetric by construction) and stays one trailing block.
+	if disconnectedCut(swapped, outer) != len(ordered)-cut {
+		return ordered
+	}
+	c.notes = append(c.notes, fmt.Sprintf(
+		"bgp blocks swapped: probe est %.3g streams, build est %.3g trails", tailEst, headEst))
+	return swapped
+}
+
+// disconnectedCut returns the index of the first pattern sharing no
+// variable with the patterns before it (plus outer), or -1 when the whole
+// BGP is connected. Patterns after the cut are the trailing block.
+func disconnectedCut(ordered []sparql.TriplePattern, outer []string) int {
+	bound := map[string]bool{}
+	for _, v := range outer {
+		bound[v] = true
+	}
+	for i, p := range ordered {
+		if i > 0 && len(p.Vars()) > 0 && disconnected(p, bound) {
+			return i
+		}
+		for _, v := range p.Vars() {
+			bound[v] = true
+		}
+	}
+	return -1
+}
+
+// blockEstimate predicts the result cardinality of a pattern block by
+// chaining per-pattern estimates, each conditioned on the variables the
+// previous patterns bind.
+func (c *compiled) blockEstimate(patterns []sparql.TriplePattern, outer []string) float64 {
+	bound := map[string]bool{}
+	for _, v := range outer {
+		bound[v] = true
+	}
+	card := 1.0
+	for _, p := range patterns {
+		card *= max(1, c.estimate(p, bound))
+		for _, v := range p.Vars() {
+			bound[v] = true
+		}
+	}
+	return card
 }
 
 func fmtOrder(ps []sparql.TriplePattern) string {
@@ -49,13 +196,17 @@ func fmtOrder(ps []sparql.TriplePattern) string {
 	return s
 }
 
-// disconnected reports whether the pattern shares no variable with the
-// bound set and has no constant anchor that keeps it selective.
+// disconnected reports whether evaluating the pattern next would create a
+// cross product: it binds variables, none of which are in the bound set.
+// A fully-constant pattern is never disconnected — it produces at most
+// one binding-free match (the most selective pattern possible), so the
+// cross-product penalty must not push it to the back of the order.
 func disconnected(p sparql.TriplePattern, bound map[string]bool) bool {
-	if len(bound) == 0 {
+	vars := p.Vars()
+	if len(bound) == 0 || len(vars) == 0 {
 		return false
 	}
-	for _, v := range p.Vars() {
+	for _, v := range vars {
 		if bound[v] {
 			return false
 		}
@@ -108,24 +259,49 @@ func (c *compiled) estimate(p sparql.TriplePattern, bound map[string]bool) float
 		return 0
 	}
 
-	// Reduce for variables that will be bound at runtime.
-	div := 1.0
+	// Reduce for variables that will be bound at runtime. Each *distinct*
+	// variable is one binding event, so it contributes one division even
+	// when it occurs at several positions of the pattern (?x :p ?x): of a
+	// repeated variable's candidate divisors, only the most selective
+	// (largest) applies. The accumulator is a fixed-order slice, not a
+	// map, so the product is bit-for-bit deterministic across runs.
+	type varDiv struct {
+		name string
+		div  float64
+	}
+	var divs []varDiv
+	applyDiv := func(name string, d float64) {
+		if d <= 0 {
+			return
+		}
+		for i := range divs {
+			if divs[i].name == name {
+				divs[i].div = max(divs[i].div, d)
+				return
+			}
+		}
+		divs = append(divs, varDiv{name, d})
+	}
 	if sBound && !sConst {
 		if pConst && st.DistinctSubjects(pid) > 0 {
-			div *= float64(st.DistinctSubjects(pid))
+			applyDiv(p.S.Var, float64(st.DistinctSubjects(pid)))
 		} else if st.TotalDistinctSubjects() > 0 {
-			div *= float64(st.TotalDistinctSubjects())
+			applyDiv(p.S.Var, float64(st.TotalDistinctSubjects()))
 		}
 	}
 	if oBound && !oConst {
 		if pConst && st.DistinctObjects(pid) > 0 {
-			div *= float64(st.DistinctObjects(pid))
+			applyDiv(p.O.Var, float64(st.DistinctObjects(pid)))
 		} else if st.TotalDistinctObjects() > 0 {
-			div *= float64(st.TotalDistinctObjects())
+			applyDiv(p.O.Var, float64(st.TotalDistinctObjects()))
 		}
 	}
 	if pBound && !pConst {
-		div *= float64(max(1, st.DistinctPredicates()))
+		applyDiv(p.P.Var, float64(max(1, st.DistinctPredicates())))
+	}
+	div := 1.0
+	for _, vd := range divs {
+		div *= vd.div
 	}
 	est := base / div
 	if est < 1 {

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/sparql"
+	"sp2bench/internal/store"
+)
+
+// optStore builds a small frozen store for optimizer unit tests. The
+// "link" predicate is a full 3x4 subject-object cross product (12
+// triples, 3 distinct subjects, 4 distinct objects), chosen so that one
+// division and two divisions of its cardinality land on different values
+// even after the >=1 clamp.
+func optStore(t *testing.T) *store.Store {
+	t.Helper()
+	s := store.New()
+	iri := func(v string) rdf.Term { return rdf.IRI("http://x/" + v) }
+	for _, subj := range []string{"a", "b", "c"} {
+		for _, obj := range []string{"w", "x", "y", "z"} {
+			s.Add(rdf.NewTriple(iri(subj), iri("link"), iri(obj)))
+		}
+	}
+	// "fan": 8 triples, 2 distinct subjects, 8 distinct objects.
+	for i := 0; i < 8; i++ {
+		subj := "s0"
+		if i >= 4 {
+			subj = "s1"
+		}
+		s.Add(rdf.NewTriple(iri(subj), iri("fan"), iri("o"+string(rune('a'+i)))))
+	}
+	s.Add(rdf.NewTriple(iri("s0"), iri("type"), iri("Thing")))
+	s.Freeze()
+	return s
+}
+
+func compiledFor(t *testing.T, s *store.Store) *compiled {
+	t.Helper()
+	return &compiled{
+		eng:    New(s, Native()),
+		slots:  map[string]int{},
+		cancel: &canceller{ctx: context.Background()},
+	}
+}
+
+func pat(s, p, o string) sparql.TriplePattern {
+	term := func(v string) sparql.PatternTerm {
+		if v != "" && v[0] == '?' {
+			return sparql.Variable(v[1:])
+		}
+		return sparql.Constant(rdf.IRI("http://x/" + v))
+	}
+	return sparql.TriplePattern{S: term(s), P: term(p), O: term(o)}
+}
+
+// TestConstantPatternOrderedFirst is the regression test for the
+// disconnected() bug: a fully-constant triple pattern has no variables,
+// so the old code treated it as a cross product and penalized it by 1e9,
+// ordering the most selective pattern possible *last*.
+func TestConstantPatternOrderedFirst(t *testing.T) {
+	s := optStore(t)
+	c := compiledFor(t, s)
+
+	constant := pat("s0", "type", "Thing")
+	patterns := []sparql.TriplePattern{
+		pat("?x", "fan", "?y"),
+		constant,
+		pat("?y", "link", "?z"),
+	}
+	// outer vars make the bound set non-empty from the first pick — the
+	// configuration under which the old penalty misfired.
+	ordered := c.reorder(patterns, []string{"x"})
+	if len(ordered) != 3 {
+		t.Fatalf("reorder dropped patterns: %v", ordered)
+	}
+	if ordered[0].String() != constant.String() {
+		t.Fatalf("constant pattern ordered at %s, want first (order: %v)",
+			ordered[0], ordered)
+	}
+
+	// And a constant pattern must never be classified as disconnected.
+	if disconnected(constant, map[string]bool{"x": true}) {
+		t.Fatal("fully-constant pattern reported as disconnected")
+	}
+}
+
+// TestEstimateSameVariableDividesOnce is the regression test for the
+// estimate() divisor bug: in ?x :link ?x both the subject and the object
+// position are the *same* runtime-bound variable — one binding event —
+// but the old code applied both divisions, undercounting the cost.
+func TestEstimateSameVariableDividesOnce(t *testing.T) {
+	s := optStore(t)
+	c := compiledFor(t, s)
+
+	base := float64(s.PredCardinality(mustID(t, s, "link")))
+	ds := float64(s.DistinctSubjects(mustID(t, s, "link")))
+	do := float64(s.DistinctObjects(mustID(t, s, "link")))
+	if base != 12 || ds != 3 || do != 4 {
+		t.Fatalf("unexpected link statistics: base=%v ds=%v do=%v", base, ds, do)
+	}
+
+	got := c.estimate(pat("?x", "link", "?x"), map[string]bool{"x": true})
+	want := math.Max(1, base/math.Max(ds, do)) // 12/4 = 3
+	if got != want {
+		t.Fatalf("estimate(?x :link ?x | x bound) = %v, want %v (one division, not %v)",
+			got, want, math.Max(1, base/(ds*do)))
+	}
+
+	// Distinct variables still multiply: ?x :link ?y divides by both.
+	both := c.estimate(pat("?x", "link", "?y"), map[string]bool{"x": true, "y": true})
+	wantBoth := math.Max(1, base/(ds*do)) // 12/12 = 1
+	if both != wantBoth {
+		t.Fatalf("estimate(?x :link ?y | both bound) = %v, want %v", both, wantBoth)
+	}
+}
+
+func mustID(t *testing.T, s *store.Store, v string) store.ID {
+	t.Helper()
+	id, ok := s.Dict().Lookup(rdf.IRI("http://x/" + v))
+	if !ok {
+		t.Fatalf("term %s not in dictionary", v)
+	}
+	return id
+}

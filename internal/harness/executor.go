@@ -36,6 +36,14 @@ type preparer interface {
 	Prepare(q queries.Query) error
 }
 
+// explainer is the optional Executor refinement for backends that can
+// describe the physical plan they would run. The harness records it on
+// each cell (QueryRun.Plan → the JSON report's plan field), so reports
+// carry the operator choices behind every number.
+type explainer interface {
+	Explain(q queries.Query) (string, bool)
+}
+
 // engineExecutor evaluates queries on an in-process engine. Parsing
 // happens in Prepare (outside the measured window) and is cached, so
 // the measured runs of the protocol (paper: 3 per cell, plus every
@@ -62,6 +70,20 @@ func (e *engineExecutor) Prepare(q queries.Query) error {
 	}
 	e.parsed[q.ID] = pq
 	return nil
+}
+
+// Explain reports the engine's physical plan for q: the BGP reorderings
+// and per-step operator choices (scan/nl/merge/hash/hashseg, parallel
+// partitions) the optimizer committed to.
+func (e *engineExecutor) Explain(q queries.Query) (string, bool) {
+	if err := e.Prepare(q); err != nil {
+		return "", false
+	}
+	plan, err := e.eng.Explain(e.parsed[q.ID])
+	if err != nil {
+		return "", false
+	}
+	return plan, true
 }
 
 func (e *engineExecutor) Execute(ctx context.Context, q queries.Query) (int, error) {

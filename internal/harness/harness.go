@@ -95,24 +95,78 @@ func DefaultEngines() []EngineSpec {
 
 // AblationEngines returns the native engine with each optimization
 // disabled in turn — the ablation axis for the design choices the paper's
-// optimization discussion calls out.
+// optimization discussion calls out, extended with the physical-operator
+// layer: each join operator off individually, and the nested-loop-only
+// configuration the join work is measured against.
 func AblationEngines() []EngineSpec {
 	full := engine.Native()
 	noReorder := full
 	noReorder.Name, noReorder.ReorderPatterns = "native-noreorder", false
 	noPush := full
 	noPush.Name, noPush.PushFilters = "native-nopush", false
-	noHash := full
-	noHash.Name, noHash.HashLeftJoins = "native-nohashlj", false
+	noHashLJ := full
+	noHashLJ.Name, noHashLJ.HashLeftJoins = "native-nohashlj", false
 	noIndex := full
 	noIndex.Name, noIndex.UseIndexes = "native-noindex", false
+	noHashJoin := full
+	noHashJoin.Name, noHashJoin.HashJoins = "native-nohashjoin", false
+	noMerge := full
+	noMerge.Name, noMerge.MergeJoins = "native-nomergejoin", false
+	noParallel := full
+	noParallel.Name, noParallel.Parallel = "native-noparallel", false
+	nlj := full
+	nlj.Name = "native-nlj"
+	nlj.HashJoins, nlj.MergeJoins, nlj.Parallel = false, false, false
 	return []EngineSpec{
 		{Name: "native", Opts: full},
 		{Name: "native-noreorder", Opts: noReorder},
 		{Name: "native-nopush", Opts: noPush},
-		{Name: "native-nohashlj", Opts: noHash},
+		{Name: "native-nohashlj", Opts: noHashLJ},
 		{Name: "native-noindex", Opts: noIndex},
+		{Name: "native-nohashjoin", Opts: noHashJoin},
+		{Name: "native-nomergejoin", Opts: noMerge},
+		{Name: "native-noparallel", Opts: noParallel},
+		{Name: "native-nlj", Opts: nlj},
 	}
+}
+
+// KnownEngines returns every named engine configuration: the two paper
+// families plus the ablation set.
+func KnownEngines() []EngineSpec {
+	out := DefaultEngines()
+	for _, es := range AblationEngines() {
+		if es.Name != "native" { // already in the default set
+			out = append(out, es)
+		}
+	}
+	return out
+}
+
+// ParseEngines resolves a comma-separated list of engine names ("native,
+// native-nlj,...") against the known configurations.
+func ParseEngines(s string) ([]EngineSpec, error) {
+	known := map[string]EngineSpec{}
+	var names []string
+	for _, es := range KnownEngines() {
+		known[es.Name] = es
+		names = append(names, es.Name)
+	}
+	var out []EngineSpec
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		es, ok := known[name]
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown engine %q (want one of %s)", name, strings.Join(names, ","))
+		}
+		out = append(out, es)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("harness: no engines given")
+	}
+	return out, nil
 }
 
 // Outcome classifies a query run, matching Table IV's legend.
@@ -173,7 +227,11 @@ type QueryRun struct {
 	// Config.Clients); -1 marks a cell merged across clients, 0 a
 	// sequential-protocol run.
 	Client int
-	Err    string
+	// Plan is the backend's physical plan description (engine backends:
+	// BGP reorderings and per-step operator choices), captured once per
+	// cell so reports explain the numbers they carry.
+	Plan string
+	Err  string
 }
 
 // LoadStats records document loading (Section VI metric 2).
@@ -682,11 +740,17 @@ func sequentialCtx() runCtx { return runCtx{parent: context.Background()} }
 func (r *Runner) runCell(ex Executor, sc Scale, q queries.Query, parseTime time.Duration, chargeLoad bool) QueryRun {
 	var agg QueryRun
 	agg.Query, agg.Engine, agg.Scale = q.ID, ex.Name(), sc.Name
+	if exp, ok := ex.(explainer); ok {
+		if plan, ok := exp.Explain(q); ok {
+			agg.Plan = plan
+		}
+	}
 	var totalWall, totalUser, totalSys time.Duration
 	for i := 0; i < r.cfg.Runs; i++ {
 		one := r.runOnce(sequentialCtx(), ex, q)
 		if one.Outcome != Success {
 			one.Query, one.Engine, one.Scale = q.ID, ex.Name(), sc.Name
+			one.Plan = agg.Plan
 			if chargeLoad {
 				one.Wall += parseTime
 			}

@@ -113,7 +113,10 @@ type RunInfo struct {
 	Results     int     `json:"results"`
 	MemPeak     uint64  `json:"mem_peak,omitempty"`
 	Client      int     `json:"client,omitempty"`
-	Err         string  `json:"err,omitempty"`
+	// Plan records the backend's physical plan (BGP reordering and the
+	// operator chosen per join step) so a report explains its numbers.
+	Plan string `json:"plan,omitempty"`
+	Err  string `json:"err,omitempty"`
 }
 
 // MeansInfo is one (engine, scale) global-performance row.
@@ -218,7 +221,8 @@ func (rep *Report) JSONReport() *JSONReport {
 			Outcome:     run.Outcome.String(),
 			WallSeconds: run.Wall.Seconds(),
 			UserSeconds: run.User.Seconds(), SysSeconds: run.Sys.Seconds(),
-			Results: run.Results, MemPeak: run.MemPeak, Client: run.Client, Err: run.Err,
+			Results: run.Results, MemPeak: run.MemPeak, Client: run.Client,
+			Plan: run.Plan, Err: run.Err,
 		})
 	}
 	for _, m := range rep.GlobalMeans() {

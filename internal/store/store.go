@@ -335,15 +335,66 @@ func (it *Iterator) Next() (EncTriple, bool) {
 	return EncTriple{}, false
 }
 
-// Iterate returns an iterator over triples matching the pattern; NoID
-// components are wildcards. It selects the index whose prefix covers the
-// bound components, so every lookup is one binary-searched range plus (for
-// the S?O case) a residual filter.
-func (s *Store) Iterate(sub, pred, obj ID) *Iterator {
-	if !s.frozen {
-		panic("store: Iterate before Freeze")
+// IndexRange is the sorted slice of one index matching a pattern's bound
+// components: Rows are in Ord's component order, the first Lead components
+// equal the pattern's constants, and Filt carries any bound component past
+// the lead as a residual constraint (NoID = unconstrained). The slice
+// aliases the store's index — callers must not mutate it.
+//
+// An IndexRange is the unit the physical-operator layer of the query
+// engine works with: it can be iterated, partitioned into contiguous
+// sub-ranges for parallel scans, or merged against another range that is
+// sorted on the same component.
+type IndexRange struct {
+	Ord  Order
+	Rows []EncTriple
+	Lead int
+	Filt EncTriple
+}
+
+// Iterator returns a fresh iterator over the range.
+func (r IndexRange) Iterator() *Iterator {
+	return &Iterator{rows: r.Rows, order: r.Ord, filt: r.Filt}
+}
+
+// Partition splits the range into at most parts contiguous sub-ranges of
+// near-equal row counts, preserving order: concatenating the partitions'
+// rows yields exactly the original range. Fewer than parts ranges are
+// returned when the range has fewer rows than parts.
+func (r IndexRange) Partition(parts int) []IndexRange {
+	if parts < 1 {
+		parts = 1
 	}
-	ord := ChooseOrder(sub != NoID, pred != NoID, obj != NoID)
+	if parts > len(r.Rows) {
+		parts = max(1, len(r.Rows))
+	}
+	out := make([]IndexRange, 0, parts)
+	for i := 0; i < parts; i++ {
+		lo := i * len(r.Rows) / parts
+		hi := (i + 1) * len(r.Rows) / parts
+		p := r
+		p.Rows = r.Rows[lo:hi]
+		out = append(out, p)
+	}
+	return out
+}
+
+// Range returns the index range matching the pattern under the index
+// ChooseOrder selects; NoID components are wildcards.
+func (s *Store) Range(sub, pred, obj ID) IndexRange {
+	return s.RangeIn(ChooseOrder(sub != NoID, pred != NoID, obj != NoID), sub, pred, obj)
+}
+
+// RangeIn returns the range matching the pattern within one specific
+// index ordering. Bound components that form a prefix in ord's component
+// order narrow the range by binary search; bound components past the
+// prefix become residual constraints. Callers pick ord for its sort
+// order — e.g. a merge join asks for the index whose first post-prefix
+// component is the join variable's position.
+func (s *Store) RangeIn(ord Order, sub, pred, obj ID) IndexRange {
+	if !s.frozen {
+		panic("store: RangeIn before Freeze")
+	}
 	key := ord.permute(EncTriple{sub, pred, obj})
 	idx := s.indexes[ord]
 
@@ -357,7 +408,18 @@ func (s *Store) Iterate(sub, pred, obj ID) *Iterator {
 	for i := prefix; i < 3; i++ {
 		filt[i] = key[i] // any bound component past the prefix is residual
 	}
-	return &Iterator{rows: idx[lo:hi], order: ord, filt: filt}
+	return IndexRange{Ord: ord, Rows: idx[lo:hi], Lead: prefix, Filt: filt}
+}
+
+// Iterate returns an iterator over triples matching the pattern; NoID
+// components are wildcards. It selects the index whose prefix covers the
+// bound components, so every lookup is one binary-searched range plus (for
+// the S?O case) a residual filter.
+func (s *Store) Iterate(sub, pred, obj ID) *Iterator {
+	if !s.frozen {
+		panic("store: Iterate before Freeze")
+	}
+	return s.Range(sub, pred, obj).Iterator()
 }
 
 // ChooseOrder picks the index ordering whose prefix covers the given bound

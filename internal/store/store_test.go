@@ -1,6 +1,7 @@
 package store
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -323,5 +324,113 @@ func TestEmptyStore(t *testing.T) {
 	}
 	if s.TotalDistinctSubjects() != 0 || s.TotalDistinctObjects() != 0 {
 		t.Fatal("empty store statistics should be zero")
+	}
+}
+
+func TestRangePartitionPreservesOrder(t *testing.T) {
+	s := New()
+	for i := 0; i < 97; i++ {
+		s.Add(rdf.NewTriple(
+			rdf.IRI(fmt.Sprintf("s%03d", i)),
+			rdf.IRI("p"),
+			rdf.IRI(fmt.Sprintf("o%03d", i%7)),
+		))
+	}
+	s.Freeze()
+	pid, _ := s.Dict().Lookup(rdf.IRI("p"))
+	full := s.Range(NoID, pid, NoID)
+	if len(full.Rows) != 97 {
+		t.Fatalf("range has %d rows, want 97", len(full.Rows))
+	}
+	for _, parts := range []int{1, 2, 3, 8, 96, 97, 200} {
+		ps := full.Partition(parts)
+		if parts <= 97 && len(ps) != parts {
+			t.Fatalf("Partition(%d) returned %d ranges", parts, len(ps))
+		}
+		var joined []EncTriple
+		for _, p := range ps {
+			if p.Ord != full.Ord || p.Lead != full.Lead || p.Filt != full.Filt {
+				t.Fatalf("Partition(%d) changed range metadata", parts)
+			}
+			joined = append(joined, p.Rows...)
+		}
+		if len(joined) != len(full.Rows) {
+			t.Fatalf("Partition(%d) covers %d rows, want %d", parts, len(joined), len(full.Rows))
+		}
+		for i := range joined {
+			if joined[i] != full.Rows[i] {
+				t.Fatalf("Partition(%d) reordered rows at %d", parts, i)
+			}
+		}
+	}
+	if got := full.Partition(0); len(got) != 1 {
+		t.Fatalf("Partition(0) should clamp to one range, got %d", len(got))
+	}
+	empty := IndexRange{}
+	if got := empty.Partition(4); len(got) != 1 || len(got[0].Rows) != 0 {
+		t.Fatalf("empty range partition = %v", got)
+	}
+}
+
+// TestRangeInMatchesIterate: for every explicit order choice, iterating a
+// RangeIn range (residual filters applied) yields exactly the triples
+// Iterate reports, independent of which index serves them.
+func TestRangeInMatchesIterate(t *testing.T) {
+	s := buildStore(
+		[3]string{"s1", "p1", "o1"},
+		[3]string{"s1", "p1", "o2"},
+		[3]string{"s1", "p2", "o1"},
+		[3]string{"s2", "p1", "o1"},
+		[3]string{"s2", "p2", "o2"},
+		[3]string{"s3", "p3", "o3"},
+	)
+	id := func(v string) ID {
+		i, ok := s.Dict().Lookup(rdf.IRI(v))
+		if !ok {
+			t.Fatalf("missing term %s", v)
+		}
+		return i
+	}
+	collect := func(it *Iterator) []EncTriple {
+		var out []EncTriple
+		for {
+			tr, ok := it.Next()
+			if !ok {
+				return out
+			}
+			out = append(out, tr)
+		}
+	}
+	asSet := func(ts []EncTriple) map[EncTriple]bool {
+		m := map[EncTriple]bool{}
+		for _, tr := range ts {
+			m[tr] = true
+		}
+		return m
+	}
+	patterns := [][3]ID{
+		{NoID, NoID, NoID},
+		{id("s1"), NoID, NoID},
+		{NoID, id("p1"), NoID},
+		{NoID, NoID, id("o1")},
+		{id("s1"), id("p1"), NoID},
+		{id("s1"), NoID, id("o1")},
+		{NoID, id("p1"), id("o1")},
+		{id("s1"), id("p1"), id("o1")},
+	}
+	for _, pat := range patterns {
+		want := asSet(collect(s.Iterate(pat[0], pat[1], pat[2])))
+		for _, ord := range []Order{OrderSPO, OrderPOS, OrderOSP} {
+			r := s.RangeIn(ord, pat[0], pat[1], pat[2])
+			got := asSet(collect(r.Iterator()))
+			if len(got) != len(want) {
+				t.Fatalf("pattern %v order %v: %d triples, want %d", pat, ord, len(got), len(want))
+			}
+			for tr := range want {
+				if !got[tr] {
+					t.Fatalf("pattern %v order %v: missing %v", pat, ord, tr)
+				}
+			}
+		}
 	}
 }
