@@ -1,0 +1,103 @@
+// Command sp2blint is the repository's static-analysis gate: a
+// multichecker that runs the custom invariant analyzers from
+// internal/lint over the given packages, plus (by default) the
+// toolchain's stock vet passes, and exits non-zero if anything fires.
+//
+//	go run ./cmd/sp2blint ./...
+//
+// The custom suite encodes invariants the generic tools cannot know:
+// goroutine-join discipline (goroutinecleanup), the shared-store
+// RWMutex contract (lockdiscipline), frozen-store immutability
+// (frozenmutation), the dictionary-ID vs SPARQL-value equality
+// distinction (idequality), and seed-purity of the generator
+// (determinism). See docs/ANALYZERS.md for each invariant, example
+// violations, and the sp2b:* annotation grammar.
+//
+// Stock passes: `go vet` (copylocks, lostcancel, atomic, ...) runs as a
+// subprocess when -stock is set (the default). The nilness and
+// unusedwrite analyzers live in golang.org/x/tools, which this module
+// deliberately does not depend on; CI runs them via staticcheck when
+// the tool is present on PATH, and skips them otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"sp2bench/internal/lint"
+)
+
+func main() {
+	var (
+		stock = flag.Bool("stock", true, "also run the toolchain's stock `go vet` passes")
+		dir   = flag.String("C", "", "run as if invoked from this directory")
+		only  = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list  = flag.Bool("list", false, "print the custom analyzers and exit")
+	)
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-18s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*lint.Analyzer
+		for _, a := range analyzers {
+			if keep[a.Name] {
+				filtered = append(filtered, a)
+				delete(keep, a.Name)
+			}
+		}
+		for name := range keep {
+			fatalf("sp2blint: unknown analyzer %q (use -list)", name)
+		}
+		analyzers = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.LoadPackages(*dir, patterns...)
+	if err != nil {
+		fatalf("sp2blint: %v", err)
+	}
+	diags, err := lint.Run(pkgs, analyzers, lint.DefaultScope)
+	if err != nil {
+		fatalf("sp2blint: %v", err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	failed := len(diags) > 0
+
+	if *stock {
+		cmd := exec.Command("go", append([]string{"vet"}, patterns...)...)
+		cmd.Dir = *dir
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

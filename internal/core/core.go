@@ -78,7 +78,12 @@ type DB struct {
 	engine *engine.Engine
 }
 
-// Open wraps an already-populated store.
+// Open wraps an already-populated store. The caller hands the store
+// over: engine construction freezes it, and the DB assumes sole
+// ownership from then on.
+//
+// sp2b:locks=write freeze-on-construct is the Open contract; the store must
+// not be shared with concurrent writers
 func Open(st *store.Store, opts engine.Options) *DB {
 	return &DB{store: st, engine: engine.New(st, opts)}
 }

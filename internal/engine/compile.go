@@ -276,7 +276,11 @@ func (c *compiled) buildLeftJoin(node *algebra.LeftJoinNode, outer []string) (su
 				if lk, rk, ok := equiJoinKey(conj, leftVars, rightVars); ok && lj.hashLeftSlot < 0 {
 					lj.hashLeftSlot = c.slot(lk)
 					lj.hashRightSlot = c.slot(rk)
-					continue
+					// No `continue`: the key conjunct STAYS in the
+					// residual. The hash buckets by canonical value
+					// key (segKey), which may be coarser than `=` —
+					// the retained conjunct is the semantic check, so
+					// over-inclusion costs a probe, never a wrong row.
 				}
 				rest = append(rest, conj)
 			}

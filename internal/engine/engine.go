@@ -92,6 +92,10 @@ type Engine struct {
 
 // New returns an engine over st. The store must be frozen before queries
 // run when UseIndexes is set; New freezes it defensively.
+//
+// sp2b:locks=write the defensive Freeze writes the store: callers passing a
+// shared store must hold its write lock (workload.StoreShared.Factory,
+// server startup) or own it outright
 func New(st *store.Store, opts Options) *Engine {
 	st.Freeze()
 	return &Engine{st: st, opts: opts}

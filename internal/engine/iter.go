@@ -65,9 +65,14 @@ type leftJoinIter struct {
 	hashRightSlot    int
 
 	// run state
-	parent   []store.ID
-	matRows  [][]store.ID // materialized right rows (merged-width)
-	hash     map[store.ID][][]store.ID
+	parent  []store.ID
+	matRows [][]store.ID // materialized right rows (merged-width)
+	// hash buckets the right rows by the canonical value key
+	// (segKey) of the equality slot — NOT by dictionary ID, which is
+	// term identity and would drop value-equal extensions with
+	// distinct lexical forms ("1" vs "01"). Buckets may be coarser
+	// than `=`; the conjunct stays in residual as the semantic check.
+	hash     map[string][][]store.ID
 	matDone  bool
 	leftRow  []store.ID
 	haveLeft bool
@@ -196,25 +201,34 @@ func (lj *leftJoinIter) nextMaterialized() ([]store.ID, bool, error) {
 	return nil, false, nil
 }
 
+// candidates returns the right rows worth merging with l.
+//
+// sp2b:valuecmp probes the value-keyed hash built by ensureMaterialized
 func (lj *leftJoinIter) candidates(l []store.ID) [][]store.ID {
 	if lj.hashLeftSlot >= 0 {
 		key := l[lj.hashLeftSlot]
 		if key == store.NoID {
 			return nil // unbound key: equality would be a type error
 		}
-		return lj.hash[key]
+		return lj.hash[segKey(lj.c.eng.st.Dict().Term(key))]
 	}
 	return lj.matRows
 }
 
+// ensureMaterialized evaluates the uncorrelated right side once,
+// hashing the rows on the extracted equality key when there is one.
+//
+// sp2b:valuecmp the hash key implements FILTER `=` bucketing
 func (lj *leftJoinIter) ensureMaterialized() error {
 	if lj.matDone {
 		return nil
 	}
 	lj.matDone = true
 	lj.right.open(lj.parent)
+	var dict *store.Dict
 	if lj.hashLeftSlot >= 0 {
-		lj.hash = make(map[store.ID][][]store.ID)
+		lj.hash = make(map[string][][]store.ID)
+		dict = lj.c.eng.st.Dict()
 	}
 	for {
 		r, ok, err := lj.right.next()
@@ -226,7 +240,11 @@ func (lj *leftJoinIter) ensureMaterialized() error {
 		}
 		cp := append([]store.ID(nil), r...)
 		if lj.hashLeftSlot >= 0 {
-			k := cp[lj.hashRightSlot]
+			id := cp[lj.hashRightSlot]
+			if id == store.NoID {
+				continue // unbound key: `=` raises, the extension is rejected
+			}
+			k := segKey(dict.Term(id))
 			lj.hash[k] = append(lj.hash[k], cp)
 		} else {
 			lj.matRows = append(lj.matRows, cp)

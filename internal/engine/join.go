@@ -111,6 +111,7 @@ type fastCmp struct {
 	l, r int
 }
 
+// sp2b:valuecmp implements FILTER comparison operators over slot pairs
 func (f fastCmp) eval(c *compiled, row []store.ID) bool {
 	a, b := row[f.l], row[f.r]
 	if a == store.NoID || b == store.NoID {
@@ -119,6 +120,7 @@ func (f fastCmp) eval(c *compiled, row []store.ID) bool {
 	dict := c.eng.st.Dict()
 	switch f.op {
 	case sparql.OpEq, sparql.OpNeq:
+		// sp2b:idcmp=ok identical IDs are value-equal; only the not-equal branch falls through to EqualTerms
 		if a == b {
 			return f.op == sparql.OpEq
 		}
@@ -193,7 +195,7 @@ func newIDTable[V any](capacity int) *idTable[V] {
 
 // at returns the value cell for k, claiming an empty slot on first use.
 func (t *idTable[V]) at(k store.ID) *V {
-	i := (k * 2654435761) & t.mask
+	i := (uint32(k) * 2654435761) & t.mask
 	for {
 		switch t.keys[i] {
 		case k:
@@ -208,7 +210,7 @@ func (t *idTable[V]) at(k store.ID) *V {
 
 // get returns the value stored under k, or V's zero value.
 func (t *idTable[V]) get(k store.ID) V {
-	i := (k * 2654435761) & t.mask
+	i := (uint32(k) * 2654435761) & t.mask
 	for {
 		switch t.keys[i] {
 		case k:

@@ -1,0 +1,68 @@
+package engine_test
+
+import (
+	"testing"
+
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/store"
+)
+
+// TestHashLeftJoinValueEquality pins the fix for an under-inclusion bug
+// in the materialized OPTIONAL path: when HashLeftJoins extracts a
+// cross-side `FILTER(?l = ?r)` key, the right rows were hashed by
+// dictionary ID and probed by the left row's ID. Dictionary IDs are
+// term identity, so value-equal terms with distinct lexical forms
+// ("1940" vs "01940", both xsd:integer) landed in different buckets and
+// the extension was silently dropped — while every bind-join
+// configuration, evaluating the same FILTER through EqualTerms, kept
+// it. The hash now buckets both sides by the canonical value key
+// (segKey) and re-checks the retained conjunct, so all configurations
+// must agree again (runAll enforces that).
+func TestHashLeftJoinValueEquality(t *testing.T) {
+	s := store.New()
+	add := func(subj, pred string, obj rdf.Term) {
+		s.Add(rdf.NewTriple(rdf.IRI(subj), rdf.IRI(pred), obj))
+	}
+	// The article's year and the journal's year are value-equal but
+	// lexically distinct, so they intern to different dictionary IDs.
+	add("http://x/article1", rdf.RDFType, rdf.IRI(rdf.BenchArticle))
+	add("http://x/article1", rdf.DCTermsIssued, rdf.Integer(1940))
+	add("http://x/j1", rdf.RDFType, rdf.IRI(rdf.BenchJournal))
+	add("http://x/j1", rdf.DCTermsIssued, rdf.TypedLiteral("01940", rdf.XSDInteger))
+	add("http://x/j1", rdf.DCTitle, rdf.String("Journal 1"))
+	// A second journal whose year genuinely differs: it must extend
+	// nothing, under every configuration.
+	add("http://x/j2", rdf.RDFType, rdf.IRI(rdf.BenchJournal))
+	add("http://x/j2", rdf.DCTermsIssued, rdf.Integer(2001))
+	add("http://x/j2", rdf.DCTitle, rdf.String("Journal 2"))
+	s.Freeze()
+
+	// The OPTIONAL block shares no variable with the outer pattern —
+	// the FILTER is the only link — so hash-left-join configurations
+	// materialize the right side and key it on ?year = ?jyear.
+	res := runAll(t, s, `
+		SELECT ?article ?year ?jtitle WHERE {
+			?article rdf:type bench:Article .
+			?article dcterms:issued ?year .
+			OPTIONAL {
+				?journal rdf:type bench:Journal .
+				?journal dcterms:issued ?jyear .
+				?journal dc:title ?jtitle .
+				FILTER (?year = ?jyear)
+			}
+		}`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1: %v", len(res.Rows), render(res))
+	}
+	row := map[string]rdf.Term{}
+	for i, v := range res.Vars {
+		row[v] = res.Rows[0][i]
+	}
+	title := row["jtitle"]
+	if title == (rdf.Term{}) {
+		t.Fatalf("OPTIONAL dropped the value-equal extension (\"1940\" vs \"01940\"): %v", render(res))
+	}
+	if title.Value != "Journal 1" {
+		t.Fatalf("extended with the wrong journal: %v", render(res))
+	}
+}

@@ -315,6 +315,7 @@ func (g *Generator) assignErdos(yr int, docs []*yearDoc, procs []*yearDoc) {
 	// slots are filled from the existing circle, so the Erdős-number
 	// neighbourhood saturates instead of growing linearly.
 	circle := make([]int32, 0, len(g.erdosCircle))
+	// sp2b:maporder=ok keys are collected then sorted (sortInt32 below) before any use
 	for idx := range g.erdosCircle {
 		circle = append(circle, idx)
 	}

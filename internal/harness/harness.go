@@ -549,6 +549,9 @@ func (r *Runner) Documents(rep *Report) error {
 // instead of generating documents and driving in-process engines; with
 // Config.Mix set, the workload scenario engine drives the mix instead
 // of the per-query sweep.
+//
+// sp2b:locks=write the runner is the sole owner of each scenario store during
+// setup; engine construction (which freezes) finishes before query workers start
 func (r *Runner) Run() (*Report, error) {
 	if r.cfg.Mix != "" {
 		if r.cfg.Endpoint != "" {
@@ -851,6 +854,7 @@ func watchMemory(ctx context.Context, cancel context.CancelFunc, limit uint64) (
 		cancel()
 		return hit, peak
 	}
+	// sp2b:leaks=ok bounded by ctx: the ticker loop returns on ctx.Done, which the harness always cancels
 	go func() {
 		var ms runtime.MemStats
 		tick := time.NewTicker(10 * time.Millisecond)

@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deriveMutatingMethods computes, from package store's own syntax, the
+// set of Store and Dict methods that write store state: a direct write
+// to a Store/Dict field anywhere in the body (function literals
+// included), or — to a fixpoint — a call to another method already in
+// the set. This is the ground truth TestMutatingStoreMethodsInSync
+// checks the hand-maintained lockdiscipline table against.
+func deriveMutatingMethods(pkg *Package) map[string]map[string]bool {
+	info := pkg.Info
+
+	type method struct {
+		recv string
+		fd   *ast.FuncDecl
+	}
+	var methods []method
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			named, ok := namedType(fn.Type().(*types.Signature).Recv().Type())
+			if !ok {
+				continue
+			}
+			name := named.Obj().Name()
+			if name != "Store" && name != "Dict" {
+				continue
+			}
+			methods = append(methods, method{recv: name, fd: fd})
+		}
+	}
+
+	mutating := map[string]map[string]bool{"Store": {}, "Dict": {}}
+
+	// Seed: direct field writes.
+	for _, m := range methods {
+		direct := false
+		checkWrite := func(lhs ast.Expr) {
+			if sel, _ := storeFieldTarget(info, pkg.Path, lhs); sel != nil {
+				direct = true
+			}
+		}
+		ast.Inspect(m.fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					checkWrite(lhs)
+				}
+			case *ast.IncDecStmt:
+				checkWrite(x.X)
+			}
+			return true
+		})
+		if direct {
+			mutating[m.recv][m.fd.Name.Name] = true
+		}
+	}
+
+	// Fixpoint: calling a mutating Store/Dict method makes the caller
+	// mutating too.
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if mutating[m.recv][m.fd.Name.Name] {
+				continue
+			}
+			calls := false
+			ast.Inspect(m.fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee, _, ok := selCallee(info, call)
+				if !ok {
+					return true
+				}
+				sig, ok := callee.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return true
+				}
+				named, ok := namedType(sig.Recv().Type())
+				if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != pkg.Path {
+					return true
+				}
+				if mutating[named.Obj().Name()][callee.Name()] {
+					calls = true
+				}
+				return !calls
+			})
+			if calls {
+				mutating[m.recv][m.fd.Name.Name] = true
+				changed = true
+			}
+		}
+	}
+	return mutating
+}

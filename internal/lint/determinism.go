@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Determinism guards the generator's reproducibility contract: the data
+// generator and its distribution models must be pure functions of the
+// seed, because the conformance suite pins their output by SHA-256
+// (golden_test.go) and scale-model regressions are diagnosed by diffing
+// runs. Inside the scoped packages (internal/gen, internal/dist under
+// DefaultScope) the analyzer flags
+//
+//   - calls to time.Now — wall-clock input makes output
+//     run-dependent,
+//   - any use of math/rand or math/rand/v2 — the repo's splitmix64
+//     streams (gen.RNG) are the only sanctioned randomness, seeded and
+//     partition-stable, and
+//   - `range` over a map — iteration order is randomized per run, so
+//     any map-order-dependent output (ordering, first-wins selection)
+//     drifts between runs. Loops whose body provably cannot leak order
+//     (pure accumulation) carry `// sp2b:maporder=ok <why>`.
+//
+// Test files are loader-excluded, so tests may use time and rand
+// freely.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "generator code must be a pure function of the seed: no wall clock, no math/rand, no map-order dependence",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, x); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+					pass.Reportf(x.Pos(),
+						"time.Now in generator code: output must be a pure function of the seed (the golden SHA-256 test pins it)")
+				}
+			case *ast.Ident:
+				if pn, ok := info.Uses[x].(*types.PkgName); ok {
+					p := pn.Imported().Path()
+					if p == "math/rand" || p == "math/rand/v2" {
+						pass.Reportf(x.Pos(),
+							"use of %s in generator code: use the seeded splitmix64 streams (gen.RNG) so output is reproducible and partition-stable", p)
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[x.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if pass.Suppressed(x.Pos(), "maporder") {
+					return true
+				}
+				pass.Reportf(x.Pos(),
+					"range over a map in generator code: iteration order is randomized per run — iterate a sorted key slice, or suppress a pure accumulation with `// sp2b:maporder=ok <why>`")
+			}
+			return true
+		})
+	}
+	return nil
+}

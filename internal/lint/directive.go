@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directives are the repository's machine-readable annotations:
+//
+//	// sp2b:key=value optional explanation
+//
+// On a function's doc comment they declare a contract the analyzers
+// check (locks=read|write, mutates-store, valuecmp); on or immediately
+// above an offending line they suppress one diagnostic (leaks=ok,
+// idcmp=ok, maporder=ok). The explanation after the first field is
+// free text and should say *why* the exception is sound.
+
+// parseDirective extracts (key, value) from one comment line, with
+// value "true" when the directive has no '='. ok is false for ordinary
+// comments.
+func parseDirective(text string) (key, value string, ok bool) {
+	text = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), "//"))
+	if !strings.HasPrefix(text, "sp2b:") {
+		return "", "", false
+	}
+	fields := strings.Fields(strings.TrimPrefix(text, "sp2b:"))
+	if len(fields) == 0 {
+		return "", "", false
+	}
+	key, value, found := strings.Cut(fields[0], "=")
+	if !found {
+		value = "true"
+	}
+	return key, value, true
+}
+
+// FuncDirective returns the value of the sp2b directive `key` in fd's
+// doc comment, if present.
+func (p *Pass) FuncDirective(fd *ast.FuncDecl, key string) (string, bool) {
+	if fd == nil || fd.Doc == nil {
+		return "", false
+	}
+	for _, c := range fd.Doc.List {
+		if k, v, ok := parseDirective(c.Text); ok && k == key {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// buildLineDirectives indexes every sp2b directive comment in the file
+// by line number.
+func (p *Pass) buildLineDirectives(f *ast.File) map[int]map[string]string {
+	byLine := map[int]map[string]string{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			k, v, ok := parseDirective(c.Text)
+			if !ok {
+				continue
+			}
+			line := p.Pkg.Fset.Position(c.Pos()).Line
+			if byLine[line] == nil {
+				byLine[line] = map[string]string{}
+			}
+			byLine[line][k] = v
+		}
+	}
+	return byLine
+}
+
+// Suppressed reports whether a sp2b directive `key` with value "ok"
+// appears on pos's line or the line directly above it — the two
+// placements a reviewer would read as covering the statement.
+func (p *Pass) Suppressed(pos token.Pos, key string) bool {
+	if p.lineDirectives == nil {
+		p.lineDirectives = map[string]map[int]map[string]string{}
+	}
+	position := p.Pkg.Fset.Position(pos)
+	byLine, ok := p.lineDirectives[position.Filename]
+	if !ok {
+		for _, f := range p.Pkg.Files {
+			if p.Pkg.Fset.Position(f.Pos()).Filename == position.Filename {
+				byLine = p.buildLineDirectives(f)
+				break
+			}
+		}
+		if byLine == nil {
+			byLine = map[int]map[string]string{}
+		}
+		p.lineDirectives[position.Filename] = byLine
+	}
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if v, ok := byLine[line][key]; ok && v == "ok" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestSuiteEndToEnd runs the production analyzer suite — the exact
+// slice sp2blint uses, with the real store path — over a fixture
+// containing one injected violation per analyzer, and asserts every
+// analyzer fires. The scope is nil (run everywhere) because the fixture
+// is not under the DefaultScope paths.
+func TestSuiteEndToEnd(t *testing.T) {
+	l, _, err := NewLoader(".", nil,
+		"time", "math/rand", "sp2bench/internal/store")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.CheckDir(filepath.Join("testdata", "src", "injected"), "fixture/injected")
+	if err != nil {
+		t.Fatalf("loading injected fixture: %v", err)
+	}
+
+	diags, err := Run([]*Package{pkg}, Analyzers(), nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	fired := map[string]int{}
+	for _, d := range diags {
+		fired[d.Analyzer]++
+	}
+	for _, a := range Analyzers() {
+		if fired[a.Name] == 0 {
+			t.Errorf("analyzer %s did not fire on the injected fixture", a.Name)
+		}
+	}
+	// The determinism injection carries three violations: map order,
+	// rand, and time.Now.
+	if fired["determinism"] < 3 {
+		t.Errorf("determinism fired %d times, want 3 (map order, math/rand, time.Now)", fired["determinism"])
+	}
+}
+
+// TestSuiteCleanOnRepo is the dogfooding gate in test form: the full
+// suite with production scoping must be clean over the repository's own
+// packages, exactly as CI runs it. A regression that introduces a
+// violation (or an annotation that goes stale) fails here without
+// needing the sp2blint binary.
+func TestSuiteCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks every package; skipped in -short")
+	}
+	pkgs, err := LoadPackages("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	diags, err := Run(pkgs, Analyzers(), DefaultScope)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// storePath is the import path of the package whose invariants most of
+// the suite encodes.
+const storePath = "sp2bench/internal/store"
+
+// Analyzer is one named invariant check. The shape deliberately mirrors
+// golang.org/x/tools/go/analysis so the suite can migrate onto the real
+// framework if x/tools ever becomes a dependency.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags *[]Diagnostic
+	// lineDirectives[filename][line] holds the sp2b:* directives whose
+	// comment sits on that line, built lazily per file.
+	lineDirectives map[string]map[int]map[string]string
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Scope restricts an analyzer to packages whose import path starts with
+// one of the listed prefixes. A nil/empty scope means every package.
+type Scope map[string][]string
+
+// inScope reports whether the analyzer applies to the package path.
+func (s Scope) inScope(analyzer, path string) bool {
+	prefixes, ok := s[analyzer]
+	if !ok || len(prefixes) == 0 {
+		return true
+	}
+	for _, pre := range prefixes {
+		if path == pre || strings.HasPrefix(path, pre+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// DefaultScope is the production scoping sp2blint applies: analyzers
+// whose invariant is package-specific only run where the invariant
+// lives. Unlisted analyzers run everywhere.
+var DefaultScope = Scope{
+	// The golden SHA-256 generator conformance test freezes these two
+	// packages' output bit for bit.
+	"determinism": {"sp2bench/internal/gen", "sp2bench/internal/dist"},
+}
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		GoroutineCleanup,
+		LockDiscipline,
+		NewFrozenMutation(storePath),
+		IDEquality,
+		Determinism,
+	}
+}
+
+// Run applies each in-scope analyzer to each package and returns the
+// merged diagnostics sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, scope Scope) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if !scope.inScope(a.Name, pkg.Path) {
+				continue
+			}
+			pass := &Pass{Analyzer: a, Pkg: pkg, diags: &diags}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// Shared type-inspection helpers.
+
+// deref removes one level of pointer.
+func deref(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}
+
+// namedType returns the named type under t (behind a pointer), if any.
+func namedType(t types.Type) (*types.Named, bool) {
+	n, ok := deref(t).(*types.Named)
+	return n, ok
+}
+
+// isPkgType reports whether t (behind a pointer) is the named type
+// pkgPath.name.
+func isPkgType(t types.Type, pkgPath, name string) bool {
+	n, ok := namedType(t)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// isWaitable reports whether t is a type whose Wait method joins
+// goroutines: sync.WaitGroup or an errgroup-style Group.
+func isWaitable(t types.Type) bool {
+	return isPkgType(t, "sync", "WaitGroup") ||
+		func() bool {
+			n, ok := namedType(t)
+			return ok && n.Obj().Name() == "Group" && n.Obj().Pkg() != nil &&
+				strings.HasSuffix(n.Obj().Pkg().Path(), "errgroup")
+		}()
+}
+
+// unparen strips parentheses. (The stdlib helper needs go1.22; the
+// module targets go1.21.)
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// rootObj resolves the base object of an expression like `x`, `x.f`,
+// `x.f[i]`, `*x`, or `x()`: the identifier at the bottom left of the
+// chain. Returns nil when the expression does not root in an identifier.
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if o := info.Uses[x]; o != nil {
+				return o
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.CallExpr:
+			e = x.Fun
+		case *ast.TypeAssertExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// selCallee resolves a call of the form x.M(...) to (the method object,
+// the receiver expression). ok is false for everything else, including
+// plain function calls.
+func selCallee(info *types.Info, call *ast.CallExpr) (*types.Func, ast.Expr, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, nil, false
+	}
+	return fn, sel.X, true
+}
+
+// funcName renders a function's diagnostic name (method receivers
+// included).
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	var b strings.Builder
+	b.WriteByte('(')
+	t := fd.Recv.List[0].Type
+	if s, ok := t.(*ast.StarExpr); ok {
+		b.WriteByte('*')
+		t = s.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		b.WriteString(id.Name)
+	}
+	b.WriteString(").")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}

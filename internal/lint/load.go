@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package under analysis.
+type Package struct {
+	Path  string
+	Name  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+}
+
+// Loader type-checks packages from source, resolving their imports from
+// the compiler export data `go list -export` leaves in the build cache.
+// One Loader shares a FileSet and an importer across every package it
+// checks, so positions and imported type identities are comparable.
+type Loader struct {
+	fset    *token.FileSet
+	exports map[string]string // import path -> export data file
+	imp     types.Importer
+}
+
+// exportLookup adapts the export map to the gc importer's lookup hook.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+}
+
+// goList runs `go list -export -deps -json` over the patterns and
+// returns every listed package (targets and dependencies).
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Name,Dir,Export,GoFiles,DepOnly,Standard",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewLoader enumerates the patterns (plus any extra packages fixtures
+// may import, e.g. "time" or "math/rand") with the go tool and returns
+// a loader whose importer can resolve all of their dependencies, along
+// with the non-dependency module packages the patterns matched.
+func NewLoader(dir string, patterns []string, extra ...string) (*Loader, []*listedPkg, error) {
+	listed, err := goList(dir, append(append([]string{}, patterns...), extra...))
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Loader{fset: token.NewFileSet(), exports: make(map[string]string, len(listed))}
+	var targets []*listedPkg
+	for _, p := range listed {
+		l.exports[p.ImportPath] = p.Export
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	l.imp = importer.ForCompiler(l.fset, "gc", exportLookup(l.exports))
+	return l, targets, nil
+}
+
+// Fset returns the loader's shared position set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// check parses and type-checks one package from explicit source files.
+func (l *Loader) check(path, dir string, files []string) (*Package, error) {
+	pkg := &Package{Path: path, Fset: l.fset}
+	for _, name := range files {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	if len(pkg.Files) == 0 {
+		return nil, fmt.Errorf("lint: package %s has no Go files", path)
+	}
+	pkg.Name = pkg.Files[0].Name.Name
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(path, l.fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// Check type-checks one of the packages NewLoader listed.
+func (l *Loader) Check(p *listedPkg) (*Package, error) {
+	return l.check(p.ImportPath, p.Dir, p.GoFiles)
+}
+
+// CheckDir parses and type-checks every non-test .go file in dir as a
+// package with the given import path. It bypasses the go tool's package
+// enumeration, which is how golden-test fixtures under testdata (a name
+// the go tool refuses to match) get loaded.
+func (l *Loader) CheckDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			files = append(files, e.Name())
+		}
+	}
+	sort.Strings(files)
+	return l.check(path, dir, files)
+}
+
+// LoadPackages is the driver entry point: it enumerates and
+// type-checks every package the patterns match, resolving the module
+// root from dir ("" = current directory).
+func LoadPackages(dir string, patterns ...string) ([]*Package, error) {
+	l, targets, err := NewLoader(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		p, err := l.Check(t)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

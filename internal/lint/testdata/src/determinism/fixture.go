@@ -1,0 +1,59 @@
+// Package determinism is the golden fixture for the determinism
+// analyzer: generator code must be a pure function of the seed.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock feeds the wall clock into generator output.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in generator code`
+}
+
+// globalRand uses the unseeded, partition-unstable global source.
+func globalRand() int {
+	return rand.Int() // want `use of math/rand in generator code`
+}
+
+// mapOrder leaks map iteration order into output order.
+func mapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over a map in generator code`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// mapOrderSuppressed is a pure accumulation: order cannot leak.
+func mapOrderSuppressed(m map[string]int) int {
+	total := 0
+	// sp2b:maporder=ok summing is order-independent
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sortedKeys is the sanctioned pattern: extract, sort, then iterate.
+// The suppression sits directly above the range it covers.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	// sp2b:maporder=ok keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sliceRange is not a map range; never flagged.
+func sliceRange(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,45 @@
+// Package idequality is the golden fixture for the idequality analyzer:
+// functions annotated sp2b:valuecmp implement SPARQL value-equality
+// semantics and must not compare dictionary IDs directly.
+package idequality
+
+import "sp2bench/internal/store"
+
+// sp2b:valuecmp fixture: FILTER = implemented over raw IDs
+func filterEqual(a, b store.ID) bool {
+	return a == b // want `annotated sp2b:valuecmp but compares dictionary IDs with ==`
+}
+
+// sp2b:valuecmp fixture: != is the same bug
+func filterNotEqual(a, b store.ID) bool {
+	return a != b // want `annotated sp2b:valuecmp but compares dictionary IDs with !=`
+}
+
+// sp2b:valuecmp fixture: the reviewed identity fast path
+func filterEqualFast(d *store.Dict, a, b store.ID) bool {
+	if a == b { // sp2b:idcmp=ok identical IDs are value-equal; only != must fall through
+		return true
+	}
+	return d.Term(a).Value == d.Term(b).Value
+}
+
+// sp2b:valuecmp fixture: an ID-keyed hash table groups by identity
+func buildTable(ids []store.ID) map[store.ID]int {
+	m := make(map[store.ID]int, len(ids)) // want `builds a map keyed by store.ID`
+	for i, id := range ids {
+		m[id] = i
+	}
+	return m
+}
+
+// sp2b:valuecmp fixture: zero-checks compare against the untyped
+// sentinel, not another term — not flagged
+func present(a store.ID) bool {
+	return a != 0
+}
+
+// joinProbe is unannotated: joins are term-identity, ID comparison is
+// the point.
+func joinProbe(a, b store.ID) bool {
+	return a == b
+}

@@ -1,0 +1,99 @@
+// Package lockdiscipline is the golden fixture for the lockdiscipline
+// analyzer. It imports the real store package so receiver types resolve
+// to sp2bench/internal/store (go/types does not enforce internal/
+// visibility; only the go command does).
+package lockdiscipline
+
+import (
+	"sync"
+
+	"sp2bench/internal/engine"
+	"sp2bench/internal/store"
+)
+
+type shared struct {
+	mu sync.RWMutex
+	st *store.Store
+}
+
+// unannotated mutates a shared (field) store without declaring the
+// write contract, even though it happens to take the lock.
+func (s *shared) unannotated(t store.EncTriple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.AddEncoded(t) // want `call to store-mutating method Store.AddEncoded on a shared store`
+}
+
+// sp2b:locks=write fixture: the declared mutation path
+func (s *shared) annotatedWrite(t store.EncTriple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st.AddEncoded(t)
+	s.st.Freeze()
+}
+
+// sp2b:locks=read fixture: a reader that mutates anyway
+func (s *shared) readerMutates(t store.EncTriple) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.st.AddEncoded(t) // want `annotated sp2b:locks=read but calls store-mutating method Store.AddEncoded`
+}
+
+// sp2b:locks=read fixture: a reader that takes the write lock
+func (s *shared) readerLocks() {
+	s.mu.Lock() // want `annotated sp2b:locks=read but acquires a write lock`
+	s.mu.Unlock()
+}
+
+// sp2b:locks=read fixture: read→write upgrade through a method call
+func (s *shared) readerUpgrades(t store.EncTriple) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.annotatedWrite(t) // want `annotated sp2b:locks=read but calls annotatedWrite, which is annotated sp2b:locks=write`
+}
+
+// localOwner constructs its store, so unlocked mutation is fine.
+func localOwner(ts []store.EncTriple) *store.Store {
+	st := store.New()
+	for _, t := range ts {
+		st.AddEncoded(t)
+	}
+	st.Freeze()
+	return st
+}
+
+// aliasIsNotOwnership: copying a shared store into a local does not
+// make it owned — the constructed-RHS check sees through the alias.
+func (s *shared) aliasIsNotOwnership(t store.EncTriple) {
+	st := s.st
+	st.AddEncoded(t) // want `call to store-mutating method Store.AddEncoded on a shared store`
+}
+
+// engineNewShared: engine.New freezes its store argument defensively,
+// which is a write on a shared store.
+func (s *shared) engineNewShared(opts engine.Options) *engine.Engine {
+	return engine.New(s.st, opts) // want `mutates a shared store via engine.New`
+}
+
+// sp2b:locks=write fixture: the annotated engine.New path
+func (s *shared) engineNewAnnotated(opts engine.Options) *engine.Engine {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return engine.New(s.st, opts)
+}
+
+// engineNewLocal builds an engine over a store it owns.
+func engineNewLocal(ts []store.EncTriple, opts engine.Options) *engine.Engine {
+	st := store.New()
+	for _, t := range ts {
+		st.AddEncoded(t)
+	}
+	return engine.New(st, opts)
+}
+
+// sp2b:locks=read fixture: readers may read without complaint
+func (s *shared) readerReads() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.Len()
+}

@@ -1,0 +1,13 @@
+package server
+
+import (
+	"testing"
+
+	"sp2bench/internal/testutil"
+)
+
+// TestMain backstops the suite with a goroutine-leak check: httptest
+// servers, live-stats watchers, and update handlers all spawn
+// goroutines that must be gone once every test has shut its server
+// down.
+func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }

@@ -113,6 +113,8 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // serve runs the request and returns (status, log detail). Error
 // statuses are written by httpError; success statuses by the result
 // writer.
+//
+// sp2b:locks=read evaluation holds cfg.Lock.RLock when a lock is configured
 func (s *Server) serve(w http.ResponseWriter, r *http.Request) (int, string) {
 	text, status, err := queryText(r)
 	if err != nil {

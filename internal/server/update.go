@@ -41,6 +41,9 @@ func UpdateHandler(st *store.Store, lock *sync.RWMutex, logf func(format string,
 	})
 }
 
+// serveUpdate ingests one POSTed N-Triples batch into the live store.
+//
+// sp2b:locks=write UpdateTriples runs under lock.Lock below
 func serveUpdate(st *store.Store, lock *sync.RWMutex, w http.ResponseWriter, r *http.Request) (int, string) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
@@ -78,6 +81,8 @@ func serveUpdate(st *store.Store, lock *sync.RWMutex, w http.ResponseWriter, r *
 // LiveStatsHandler is StatsHandler for a mutable store: the footprint
 // is computed per request under the read lock instead of once at
 // startup, so /stats tracks the update stream.
+//
+// sp2b:locks=read the footprint is read-only and runs under lock.RLock
 func LiveStatsHandler(st *store.Store, lock *sync.RWMutex) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		lock.RLock()

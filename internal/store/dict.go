@@ -19,7 +19,15 @@ import (
 // ID is a dense dictionary identifier for an interned RDF term.
 // IDs start at 1; 0 is reserved as "no term" (used for unbound pattern
 // positions).
-type ID = uint32
+//
+// ID is a defined type, not an alias for uint32: equality between two
+// IDs is *term identity* within one dictionary, which is strictly finer
+// than SPARQL value equality ("1" and "01" are distinct terms but equal
+// values). Code on a value-semantics path (FILTER ?a = ?b, hash keys
+// for value joins) must compare resolved terms via algebra.EqualTerms
+// or bucket by a canonical key (engine.segKey), never by ID — the
+// sp2blint idequality analyzer enforces this in annotated functions.
+type ID uint32
 
 // NoID is the reserved identifier meaning "unbound" in lookup patterns.
 const NoID ID = 0
@@ -38,6 +46,8 @@ func NewDict() *Dict {
 }
 
 // Intern returns the ID for t, assigning a fresh one on first sight.
+//
+// sp2b:mutates-store dictionary growth is part of the loading phase
 func (d *Dict) Intern(t rdf.Term) ID {
 	if id, ok := d.ids[t]; ok {
 		return id

@@ -202,11 +202,11 @@ reading:
 // returns the provisional→final mapping (pure arithmetic, no table).
 type interner struct {
 	base    *Dict
-	baseLen uint32
+	baseLen ID
 	shift   uint // log2(len(stripes))
 	seed    maphash.Seed
 	stripes []internStripe
-	offsets []uint32 // set by finalize
+	offsets []ID // set by finalize
 }
 
 type internStripe struct {
@@ -222,7 +222,7 @@ func newInterner(base *Dict, workers int) *interner {
 	}
 	in := &interner{
 		base:    base,
-		baseLen: uint32(base.Len()),
+		baseLen: ID(base.Len()),
 		shift:   uint(bits.TrailingZeros(uint(n))),
 		seed:    maphash.MakeSeed(),
 		stripes: make([]internStripe, n),
@@ -261,15 +261,17 @@ func (in *interner) intern(t rdf.Term) ID {
 		st.ids[t] = local
 	}
 	st.mu.Unlock()
-	return in.baseLen + 1 + local<<in.shift + si
+	return in.baseLen + 1 + ID(local<<in.shift+si)
 }
 
 // finalize appends the stripes' terms to the base dictionary (stripe 0
 // first, each stripe keeping its arrival order) and returns the
 // provisional→final ID mapping. Must be called exactly once, after all
 // intern calls have completed.
+//
+// sp2b:mutates-store merges worker stripes into the base dictionary at the end of Ingest
 func (in *interner) finalize() func(ID) ID {
-	in.offsets = make([]uint32, len(in.stripes))
+	in.offsets = make([]ID, len(in.stripes))
 	next := in.baseLen
 	for i := range in.stripes {
 		in.offsets[i] = next
@@ -285,7 +287,7 @@ func (in *interner) finalize() func(ID) ID {
 		if p <= baseLen {
 			return p
 		}
-		q := p - baseLen - 1
-		return offsets[q&mask] + q>>shift + 1
+		q := uint32(p - baseLen - 1)
+		return offsets[q&mask] + ID(q>>shift) + 1
 	}
 }

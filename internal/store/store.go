@@ -108,6 +108,8 @@ func (s *Store) Add(t rdf.Triple) {
 
 // AddEncoded stores an already-encoded triple. The IDs must come from this
 // store's dictionary.
+//
+// sp2b:mutates-store loading-phase append; panics if the store is frozen
 func (s *Store) AddEncoded(t EncTriple) {
 	if s.frozen {
 		panic("store: Add after Freeze")
@@ -172,6 +174,8 @@ func (s *Store) Freeze() {
 
 // buildStats derives the per-predicate statistics from the deduplicated
 // SPO-ordered triple slice.
+//
+// sp2b:mutates-store derived statistics, built only from inside Freeze
 func (s *Store) buildStats() {
 	for _, t := range s.triples {
 		s.predCount[t[1]]++
@@ -237,6 +241,8 @@ func (s *Store) UpdateTriples(batch []rdf.Triple) {
 
 // thaw reverts a frozen store to loadable state, dropping the derived
 // indexes and statistics (the dictionary and triples are kept).
+//
+// sp2b:mutates-store every caller re-freezes before returning (Update path)
 func (s *Store) thaw() {
 	if !s.frozen {
 		return

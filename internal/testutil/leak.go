@@ -1,0 +1,132 @@
+// Package testutil holds helpers shared by the test suites of several
+// packages. It must stay dependency-light: it is imported by _test files
+// only, but a stray production import would drag testing helpers into
+// binaries, so it deliberately uses nothing beyond the standard library.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+)
+
+// VerifyNoLeaks runs a package's tests via m.Run and then fails the
+// process if goroutines spawned during the run are still alive once
+// they have had a grace period to wind down. Wire it in as:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }
+//
+// It is a whole-suite backstop, not a per-test assertion: a leak is
+// attributed to the package, and the offending stacks are printed so
+// the goroutine's spawn site (top frames) identifies the culprit. The
+// goroutinecleanup analyzer proves every `go` statement HAS a join
+// path; this helper proves the join paths are actually exercised.
+func VerifyNoLeaks(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if leaked := settle(5*time.Second, ignoreByDefault); len(leaked) > 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: %d leaked goroutine(s) after all tests passed:\n\n%s\n",
+				len(leaked), strings.Join(leaked, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// CheckNoLeaks is the per-test variant for tests that want a tight leak
+// boundary around one scenario. Call it via t.Cleanup at the START of
+// the test (cleanups run LIFO, so it observes the world after the
+// test's own cleanups have shut everything down):
+//
+//	t.Cleanup(func() { testutil.CheckNoLeaks(t) })
+func CheckNoLeaks(t *testing.T, ignores ...string) {
+	t.Helper()
+	ignore := append(append([]string{}, ignoreByDefault...), ignores...)
+	if leaked := settle(2*time.Second, ignore); len(leaked) > 0 {
+		t.Errorf("leaked %d goroutine(s):\n\n%s", len(leaked), strings.Join(leaked, "\n\n"))
+	}
+}
+
+// ignoreByDefault lists substrings of goroutine stacks that are never
+// leaks: runtime and testing machinery, and pollers the runtime keeps
+// alive for the life of the process.
+var ignoreByDefault = []string{
+	"testing.Main(",
+	"testing.tRunner(",
+	"testing.(*M).",
+	"testing.runTests",
+	"testing.(*T).Run(",
+	"runtime.goexit",          // the bare bottom-of-stack marker goroutine
+	"runtime/pprof.",          // profile writers under -cpuprofile etc.
+	"runtime.MHeap_Scavenger", // historical scavenger name, harmless
+	"signal.signal_recv",
+	"os/signal.loop",
+	"runtime.ensureSigM",
+	"net/http.(*persistConn)", // idle keep-alive conns owned by the transport
+	"internal/testutil.stacks",
+	"created by runtime",
+}
+
+// settle polls the goroutine set until it stops shrinking or the
+// deadline passes, then returns the stacks that remain interesting.
+// Goroutines legitimately take a moment to die after Wait/cancel
+// returns — the spawner observes the join before the runtime parks the
+// worker — so a single instantaneous snapshot would flake.
+func settle(deadline time.Duration, ignore []string) []string {
+	var leaked []string
+	delay := 1 * time.Millisecond
+	for end := time.Now().Add(deadline); ; {
+		leaked = interesting(stacks(), ignore)
+		if len(leaked) == 0 || time.Now().After(end) {
+			return leaked
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// stacks captures all goroutine stacks and splits them into one string
+// per goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	gs := strings.Split(string(buf), "\n\n")
+	sort.Strings(gs)
+	return gs
+}
+
+// interesting filters the stack list down to goroutines that match no
+// ignore pattern and are not the calling goroutine itself.
+func interesting(gs []string, ignore []string) []string {
+	var out []string
+next:
+	for _, g := range gs {
+		if strings.TrimSpace(g) == "" {
+			continue
+		}
+		if strings.HasPrefix(g, "goroutine ") && strings.Contains(g, "[running]") &&
+			strings.Contains(g, "internal/testutil.") {
+			continue // the checker's own goroutine
+		}
+		for _, pat := range ignore {
+			if strings.Contains(g, pat) {
+				continue next
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}

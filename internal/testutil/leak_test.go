@@ -1,0 +1,73 @@
+package testutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSettleDetectsBlockedGoroutine leaks a goroutine on purpose and
+// checks that settle reports it, with the spawn site in the stack so
+// the report is actionable. The goroutine is released afterwards so
+// this package's own TestMain backstop stays green.
+func TestSettleDetectsBlockedGoroutine(t *testing.T) {
+	block := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-block
+	}()
+
+	leaked := settle(300*time.Millisecond, ignoreByDefault)
+	if len(leaked) == 0 {
+		t.Fatal("settle missed a goroutine parked on a channel receive")
+	}
+	found := false
+	for _, g := range leaked {
+		if strings.Contains(g, "TestSettleDetectsBlockedGoroutine") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("report does not name the spawn site:\n%s", strings.Join(leaked, "\n\n"))
+	}
+
+	close(block)
+	<-done
+}
+
+// TestSettleWaitsForSlowShutdown starts a goroutine that exits only
+// after a delay longer than one snapshot but shorter than the settle
+// deadline: a single instantaneous check would flag it, settle must
+// not.
+func TestSettleWaitsForSlowShutdown(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		time.Sleep(50 * time.Millisecond)
+	}()
+
+	if leaked := settle(2*time.Second, ignoreByDefault); len(leaked) > 0 {
+		t.Errorf("settle flagged a goroutine that exits within the deadline:\n%s",
+			strings.Join(leaked, "\n\n"))
+	}
+	<-done
+}
+
+// TestInterestingFilters checks the ignore machinery on synthetic
+// stacks: testing machinery is dropped, extra per-call patterns apply,
+// and anything else survives.
+func TestInterestingFilters(t *testing.T) {
+	gs := []string{
+		"goroutine 1 [chan receive]:\ntesting.(*T).Run(...)\n\ttesting.go:1",
+		"goroutine 7 [select]:\nmyapp.worker(...)\n\tworker.go:10",
+		"goroutine 9 [IO wait]:\nmyapp.poller(...)\n\tpoller.go:3",
+		"",
+	}
+	got := interesting(gs, append(append([]string{}, ignoreByDefault...), "myapp.poller"))
+	if len(got) != 1 || !strings.Contains(got[0], "myapp.worker") {
+		t.Errorf("interesting = %q, want just the myapp.worker goroutine", got)
+	}
+}
+
+func TestMain(m *testing.M) { VerifyNoLeaks(m) }

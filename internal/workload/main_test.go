@@ -1,0 +1,13 @@
+package workload_test
+
+import (
+	"testing"
+
+	"sp2bench/internal/testutil"
+)
+
+// TestMain backstops the suite with a goroutine-leak check: the
+// open-loop generator spawns a goroutine per arrival and the scenario
+// engine runs warmup/measure phases with worker pools — all must be
+// joined when the run ends.
+func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }

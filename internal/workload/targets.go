@@ -116,6 +116,8 @@ func (s *StoreShared) TriplesApplied() int {
 // and parse cache (neither is safe for concurrent use). Construction
 // holds the write lock: engine.New freezes a thawed store, which must
 // not interleave with an update already in flight on another worker.
+//
+// sp2b:locks=write engine.New freezes the store under s.mu.Lock
 func (s *StoreShared) Factory() TargetFactory {
 	return func() Target {
 		s.mu.Lock()
@@ -142,6 +144,8 @@ func (t *StoreTarget) Name() string { return t.shared.name }
 // Execute implements Target. Parsing is cached outside the lock — the
 // protocol measures evaluation, and the cache makes repeat draws of a
 // query (the point of a weighted mix) parser-free.
+//
+// sp2b:locks=read evaluation holds shared.mu.RLock
 func (t *StoreTarget) Execute(ctx context.Context, q queries.Query) (int, error) {
 	pq, ok := t.parsed[q.ID]
 	if !ok {
@@ -161,6 +165,8 @@ func (t *StoreTarget) Execute(ctx context.Context, q queries.Query) (int, error)
 // under the write lock, paying the store's honest re-freeze cost while
 // every reader waits — exactly the contention the mixed-update mix
 // exists to measure.
+//
+// sp2b:locks=write UpdateTriples runs under shared.mu.Lock
 func (t *StoreTarget) ApplyUpdate(ctx context.Context) (int, error) {
 	if t.shared.batches == nil {
 		return 0, fmt.Errorf("workload: store target has no update batches")
