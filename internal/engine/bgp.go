@@ -151,10 +151,10 @@ func (b *bgpIter) initCursor(d int) {
 	st.want = want
 	if b.c.eng.opts.UseIndexes {
 		st.useScan = false
-		st.it = b.c.eng.st.Iterate(want[0], want[1], want[2])
+		st.it = b.c.eng.src.Iterate(want[0], want[1], want[2])
 	} else {
 		st.useScan = true
-		st.scan = b.c.eng.st.Triples()
+		st.scan = b.c.eng.src.Triples()
 		st.pos = 0
 	}
 }
@@ -242,7 +242,7 @@ func (c *compiled) buildBGP(patterns []sparql.TriplePattern, conjuncts []sparql.
 				step.pos[i] = patPos{isVar: true, slot: c.slot(term.Var)}
 				continue
 			}
-			id, ok := c.eng.st.Dict().Lookup(term.Term)
+			id, ok := c.eng.src.TermDict().Lookup(term.Term)
 			if !ok {
 				step.pos[i] = patPos{missing: true}
 				b.empty = true

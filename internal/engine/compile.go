@@ -366,5 +366,5 @@ func (rb rowBinding) Value(name string) (rdf.Term, bool) {
 	if id == store.NoID {
 		return rdf.Term{}, false
 	}
-	return rb.c.eng.st.Dict().Term(id), true
+	return rb.c.eng.src.TermDict().Term(id), true
 }

@@ -84,9 +84,12 @@ func Native() Options {
 	}
 }
 
-// Engine evaluates queries over one frozen store.
+// Engine evaluates queries over one immutable triple source: a frozen
+// store, or any other store.Reader (an mvcc.Snapshot pins one dataset
+// version, which is how queries stay consistent while writers ingest).
 type Engine struct {
-	st   *store.Store
+	src  store.Reader
+	st   *store.Store // set when the source is a plain store (Store())
 	opts Options
 }
 
@@ -94,15 +97,27 @@ type Engine struct {
 // run when UseIndexes is set; New freezes it defensively.
 //
 // sp2b:locks=write the defensive Freeze writes the store: callers passing a
-// shared store must hold its write lock (workload.StoreShared.Factory,
-// server startup) or own it outright
+// shared store must hold its write lock or own it outright (MVCC
+// deployments instead hand each engine an immutable NewReader snapshot)
 func New(st *store.Store, opts Options) *Engine {
 	st.Freeze()
-	return &Engine{st: st, opts: opts}
+	return &Engine{src: st, st: st, opts: opts}
 }
 
-// Store returns the underlying store.
+// NewReader returns an engine over any read-only triple source. The
+// source must be immutable for the engine's lifetime; construction is
+// allocation-only, so per-request engines over per-request snapshots
+// are cheap.
+func NewReader(src store.Reader, opts Options) *Engine {
+	return &Engine{src: src, opts: opts}
+}
+
+// Store returns the underlying store when the engine was built over a
+// plain *store.Store with New, and nil for other sources.
 func (e *Engine) Store() *store.Store { return e.st }
+
+// Source returns the triple source the engine evaluates against.
+func (e *Engine) Source() store.Reader { return e.src }
 
 // Options returns the engine configuration.
 func (e *Engine) Options() Options { return e.opts }
@@ -171,7 +186,7 @@ func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*Result, error) {
 		out := make([]rdf.Term, len(c.projSlots))
 		for i, slot := range c.projSlots {
 			if slot >= 0 && row[slot] != store.NoID {
-				out[i] = e.st.Dict().Term(row[slot])
+				out[i] = e.src.TermDict().Term(row[slot])
 			}
 		}
 		res.Rows = append(res.Rows, out)

@@ -105,13 +105,13 @@ func (e *Engine) Describe(ctx context.Context, q *sparql.Query) ([]rdf.Triple, e
 		}
 	}
 	var out []rdf.Triple
-	dict := e.st.Dict()
+	dict := e.src.TermDict()
 	for _, term := range terms {
 		id, ok := dict.Lookup(term)
 		if !ok {
 			continue
 		}
-		it := e.st.Iterate(id, store.NoID, store.NoID)
+		it := e.src.Iterate(id, store.NoID, store.NoID)
 		for {
 			enc, more := it.Next()
 			if !more {

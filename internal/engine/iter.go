@@ -210,7 +210,7 @@ func (lj *leftJoinIter) candidates(l []store.ID) [][]store.ID {
 		if key == store.NoID {
 			return nil // unbound key: equality would be a type error
 		}
-		return lj.hash[segKey(lj.c.eng.st.Dict().Term(key))]
+		return lj.hash[segKey(lj.c.eng.src.TermDict().Term(key))]
 	}
 	return lj.matRows
 }
@@ -225,10 +225,10 @@ func (lj *leftJoinIter) ensureMaterialized() error {
 	}
 	lj.matDone = true
 	lj.right.open(lj.parent)
-	var dict *store.Dict
+	var dict store.TermSource
 	if lj.hashLeftSlot >= 0 {
 		lj.hash = make(map[string][][]store.ID)
-		dict = lj.c.eng.st.Dict()
+		dict = lj.c.eng.src.TermDict()
 	}
 	for {
 		r, ok, err := lj.right.next()
@@ -438,7 +438,7 @@ func (o *orderIter) next() ([]store.ID, bool, error) {
 				return nil, false, err
 			}
 		}
-		dict := o.c.eng.st.Dict()
+		dict := o.c.eng.src.TermDict()
 		sort.SliceStable(o.rows, func(i, j int) bool {
 			a, b := o.rows[i], o.rows[j]
 			for _, k := range o.keys {

@@ -117,7 +117,7 @@ func (f fastCmp) eval(c *compiled, row []store.ID) bool {
 	if a == store.NoID || b == store.NoID {
 		return false // unbound: the expression evaluator raises, FILTER rejects
 	}
-	dict := c.eng.st.Dict()
+	dict := c.eng.src.TermDict()
 	switch f.op {
 	case sparql.OpEq, sparql.OpNeq:
 		// sp2b:idcmp=ok identical IDs are value-equal; only the not-equal branch falls through to EqualTerms
@@ -291,7 +291,7 @@ func (c *compiled) planBGP(b *bgpIter, ordered []sparql.TriplePattern, outer []s
 	if len(b.preFilters) > 0 {
 		return nil
 	}
-	st := c.eng.st
+	st := c.eng.src
 	plan := &bgpPlan{c: c}
 	bound := map[string]bool{}
 	leftCard := 1.0
@@ -525,7 +525,7 @@ func (c *compiled) mergeStep(step patternStep, joinVar string, sortSlot int) (ph
 			continue
 		}
 		if lead > bestLead {
-			rng := c.eng.st.RangeIn(ord, want[0], want[1], want[2])
+			rng := c.eng.src.RangeIn(ord, want[0], want[1], want[2])
 			best = physStep{kind: opMerge, step: step, rng: rng, joinSlot: vslot, lead: lead}
 			bestLead = lead
 		}
@@ -557,11 +557,11 @@ func (c *compiled) hashStep(step patternStep, joinVar string, leftCard float64) 
 		return physStep{}, false
 	}
 	want := constWant(step)
-	buildCard := float64(c.eng.st.Count(want.Spread()))
+	buildCard := float64(c.eng.src.Count(want.Spread()))
 	if buildCard == 0 || buildCard >= leftCard {
 		return physStep{}, false
 	}
-	rng := c.eng.st.Range(want.Spread())
+	rng := c.eng.src.Range(want.Spread())
 	return physStep{kind: opHash, step: step, rng: rng, joinSlot: vslot, keyPos: keyPos}, true
 }
 
@@ -767,7 +767,7 @@ func (b *physIter) initCursor(d int) error {
 				want[i] = p.id
 			}
 		}
-		rng := b.plan.c.eng.st.Range(want[0], want[1], want[2])
+		rng := b.plan.c.eng.src.Range(want[0], want[1], want[2])
 		st.rows, st.filt, st.ord = rng.Rows, rng.Filt, rng.Ord
 		st.pos = 0
 	case opMerge:
@@ -797,7 +797,7 @@ func (b *physIter) initCursor(d int) error {
 			return err
 		}
 		if ps.seg.buildSlot >= 0 {
-			dict := b.plan.c.eng.st.Dict()
+			dict := b.plan.c.eng.src.TermDict()
 			st.segCands = b.plan.shared.seg[d][segKey(dict.Term(b.cur[ps.seg.probeSlot]))]
 		} else {
 			st.segCands = b.plan.shared.rows[d]
@@ -953,7 +953,7 @@ func (b *physIter) buildSeg(d int, ps *physStep) error {
 		inner.open(make([]store.ID, len(cc.names)))
 		var rows [][]store.ID
 		table := map[string][][]store.ID{}
-		dict := b.plan.c.eng.st.Dict()
+		dict := b.plan.c.eng.src.TermDict()
 		for {
 			row, ok, err := inner.next()
 			if err != nil {

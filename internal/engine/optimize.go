@@ -102,7 +102,7 @@ func (c *compiled) scanSortVar(p sparql.TriplePattern) string {
 		if t.IsVar {
 			return false
 		}
-		_, ok := c.eng.st.Dict().Lookup(t.Term)
+		_, ok := c.eng.src.TermDict().Lookup(t.Term)
 		return ok
 	}
 	sConst, pConst, oConst := resolve(p.S), resolve(p.P), resolve(p.O)
@@ -219,7 +219,7 @@ func disconnected(p sparql.TriplePattern, bound map[string]bool) bool {
 // runtime-bound variable divides the estimate by the number of distinct
 // values observed at that position.
 func (c *compiled) estimate(p sparql.TriplePattern, bound map[string]bool) float64 {
-	st := c.eng.st
+	st := c.eng.src
 	n := float64(st.Len())
 	if n == 0 {
 		return 0
@@ -227,7 +227,7 @@ func (c *compiled) estimate(p sparql.TriplePattern, bound map[string]bool) float
 
 	resolve := func(t sparql.PatternTerm) (id store.ID, isConst, isBound, missing bool) {
 		if !t.IsVar {
-			cid, ok := st.Dict().Lookup(t.Term)
+			cid, ok := st.TermDict().Lookup(t.Term)
 			if !ok {
 				return 0, true, false, true
 			}

@@ -171,22 +171,44 @@ func (rep *Report) RenderLoading(w io.Writer) {
 
 // RenderFootprints writes the per-scale store footprint table behind
 // sp2bbench -stats: triples, dictionary terms, and approximate index
-// and term-data bytes, plus the source each scale was loaded from.
+// and term-data bytes, plus the source each scale was loaded from. A
+// footprint from a live MVCC deployment grows generation and base/delta
+// columns; static loads show generation 0 with everything in the base.
 func (rep *Report) RenderFootprints(w io.Writer) {
 	if len(rep.Footprints) == 0 {
 		return
 	}
+	generational := false
+	for _, f := range rep.Footprints {
+		if f.Generation > 0 || f.DeltaTriples > 0 {
+			generational = true
+		}
+	}
 	fmt.Fprintln(w, "Store footprint")
-	fmt.Fprintf(w, "%-7s %12s %12s %14s %14s  %s\n",
-		"scale", "triples", "terms", "index [MiB]", "terms [MiB]", "source")
+	if generational {
+		fmt.Fprintf(w, "%-7s %12s %12s %14s %14s %4s %12s %12s %13s  %s\n",
+			"scale", "triples", "terms", "index [MiB]", "terms [MiB]",
+			"gen", "base", "delta", "delta [MiB]", "source")
+	} else {
+		fmt.Fprintf(w, "%-7s %12s %12s %14s %14s  %s\n",
+			"scale", "triples", "terms", "index [MiB]", "terms [MiB]", "source")
+	}
 	for _, sc := range reportScales(rep) {
 		f, ok := rep.Footprints[sc.Name]
 		if !ok {
 			continue
 		}
-		fmt.Fprintf(w, "%-7s %12d %12d %14.1f %14.1f  %s\n",
-			sc.Name, f.Triples, f.Terms,
-			float64(f.IndexBytes)/(1<<20), float64(f.TermBytes)/(1<<20), rep.Sources[sc.Name])
+		if generational {
+			fmt.Fprintf(w, "%-7s %12d %12d %14.1f %14.1f %4d %12d %12d %13.1f  %s\n",
+				sc.Name, f.Triples, f.Terms,
+				float64(f.IndexBytes)/(1<<20), float64(f.TermBytes)/(1<<20),
+				f.Generation, f.BaseTriples, f.DeltaTriples,
+				float64(f.DeltaBytes)/(1<<20), rep.Sources[sc.Name])
+		} else {
+			fmt.Fprintf(w, "%-7s %12d %12d %14.1f %14.1f  %s\n",
+				sc.Name, f.Triples, f.Terms,
+				float64(f.IndexBytes)/(1<<20), float64(f.TermBytes)/(1<<20), rep.Sources[sc.Name])
+		}
 	}
 }
 

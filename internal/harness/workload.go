@@ -69,17 +69,10 @@ func (r *Runner) runWorkload() (*Report, error) {
 				return nil, fmt.Errorf("harness: preparing update batches: %w", err)
 			}
 		}
-		for i, es := range r.cfg.Engines {
-			st := lr.store
-			// An update mix mutates the store; every engine after the
-			// first gets a fresh load so scenarios stay independent.
-			if mix.UpdateWeight > 0 && i > 0 {
-				lr2, err := r.load(sc)
-				if err != nil {
-					return nil, err
-				}
-				st = lr2.store
-			}
+		for _, es := range r.cfg.Engines {
+			// Updates land in each drive's own MVCC delta, never in the
+			// shared base store — every engine wraps the same loaded base
+			// and scenarios stay independent without fresh reloads.
 			var bq *workload.BatchQueue
 			if mix.UpdateWeight > 0 {
 				// Each engine gets its own queue cursor over the shared
@@ -89,10 +82,19 @@ func (r *Runner) runWorkload() (*Report, error) {
 					return nil, err
 				}
 			}
-			shared := workload.NewStoreShared(es.Name, st, es.Opts, bq)
+			shared := workload.NewStoreShared(es.Name, lr.store, es.Opts, bq)
 			res, err := workload.Run(context.Background(), shared.Factory(), r.scenario(mix))
+			shared.Close() // drain the background merger before the next drive
 			if err != nil {
 				return nil, fmt.Errorf("harness: workload %s on %s/%s: %w", mix.Name, es.Name, sc.Name, err)
+			}
+			if mix.UpdateWeight > 0 {
+				st := shared.Live().Stats()
+				r.progressf("        %s store ended at generation %d: %d base + %d delta triples, %d merges\n",
+					es.Name, st.Generation, st.BaseTriples, st.DeltaTriples, st.Merges)
+				// -stats shows where the drive left the dataset: the
+				// generational breakdown instead of the pristine load.
+				rep.Footprints[sc.Name] = shared.Live().Footprint()
 			}
 			res.Scale = sc.Name
 			rep.Workloads = append(rep.Workloads, res)

@@ -8,10 +8,10 @@ import (
 
 // LockDiscipline enforces the mixed-update locking contract: the
 // sorted-array store rebuilds its indexes in place on update, so a
-// store shared across goroutines may only be mutated under the write
-// side of the deployment's RWMutex (workload.StoreShared.mu,
-// server.Config.Lock). The analyzer checks annotations, not lock
-// acquisition order:
+// store shared across goroutines may only be mutated by a function
+// that declares exclusive access (the MVCC store's writer mutex, or a
+// construction-time transfer of ownership like mvcc.New). The
+// analyzer checks annotations, not lock acquisition order:
 //
 //   - A call to a store-mutating method (see mutatingStoreMethods) on a
 //     store the function does not own — a parameter, struct field, or
@@ -37,7 +37,8 @@ var LockDiscipline = &Analyzer{
 // derives the set from package store's source.
 var mutatingStoreMethods = map[string]map[string]bool{
 	"Store": {
-		"Add": true, "AddEncoded": true, "Load": true, "Ingest": true,
+		"Add": true, "AddEncoded": true, "AddEncodedAll": true,
+		"Load": true, "Ingest": true,
 		"Freeze": true, "Update": true, "UpdateTriples": true,
 		"thaw": true, "buildStats": true,
 	},

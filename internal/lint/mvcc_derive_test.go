@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"testing"
+)
+
+// The MVCC subsystem's correctness rests on published values being
+// immutable: a version, its deltaIndex, and the snapshot dictionary are
+// shared with lock-free readers the moment the writer publishes them,
+// so no method or function may write their fields through a value it
+// did not construct itself. This test derives the violating set from
+// the package's own syntax — the same derivation-versus-invariant
+// approach TestMutatingStoreMethodsInSync applies to the store's
+// mutator table, extended to the delta types.
+
+// mvccImmutableTypes are the types package mvcc publishes to concurrent
+// readers. Snapshot is excluded: it caches the lazily merged triple
+// slice in a field under a sync.Once, an internal write that is safe by
+// construction and invisible to other snapshots.
+var mvccImmutableTypes = map[string]bool{
+	"version":    true,
+	"deltaIndex": true,
+	"snapDict":   true,
+}
+
+func TestMVCCPublishedTypesAreImmutable(t *testing.T) {
+	pkgs, err := LoadPackages("", "sp2bench/internal/mvcc")
+	if err != nil {
+		t.Fatalf("loading mvcc: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("expected 1 package, got %d", len(pkgs))
+	}
+	writers := deriveFieldWriters(pkgs[0], mvccImmutableTypes)
+	for fn, fields := range writers {
+		for _, field := range fields {
+			t.Errorf("%s writes %s of a published (immutable) mvcc value it did not construct", fn, field)
+		}
+	}
+	// The derivation must actually see the types, or the invariant is
+	// vacuously true (e.g. after a rename).
+	for name := range mvccImmutableTypes {
+		if obj := pkgs[0].Info.ObjectOf(findTypeIdent(pkgs[0], name)); obj == nil {
+			t.Errorf("type %s not found in package mvcc (stale mvccImmutableTypes entry?)", name)
+		}
+	}
+}
+
+// findTypeIdent locates the declaring identifier of a named type.
+func findTypeIdent(pkg *Package, name string) *ast.Ident {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == name {
+					return ts.Name
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// deriveFieldWriters returns, per function, the fields of the named
+// types the function writes through a value it did not construct
+// locally — assignments, indexed stores, and ++/-- — keyed by the
+// function's diagnostic name. Writes through locally constructed values
+// (composite literals, constructor calls) are the builder pattern the
+// immutability contract explicitly allows.
+func deriveFieldWriters(pkg *Package, typeNames map[string]bool) map[string][]string {
+	info := pkg.Info
+	writers := map[string][]string{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locals := localVarsOfTypes(info, fd, pkg.Path, typeNames)
+			record := func(lhs ast.Expr) {
+				sel, field := fieldTargetOfTypes(info, pkg.Path, lhs, typeNames)
+				if sel == nil {
+					return
+				}
+				if o := rootObj(info, sel); o != nil && locals[o] {
+					return
+				}
+				writers[funcName(fd)] = append(writers[funcName(fd)],
+					field.recvName+"."+field.fieldName)
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range x.Lhs {
+						record(lhs)
+					}
+				case *ast.IncDecStmt:
+					record(x.X)
+				}
+				return true
+			})
+		}
+	}
+	return writers
+}
+
+// localVarsOfTypes is localStoreVars generalized to an arbitrary set of
+// type names: locals the function constructs itself (assigned from a
+// call or composite literal) whose type is one of the named types.
+func localVarsOfTypes(info *types.Info, fd *ast.FuncDecl, pkgPath string, typeNames map[string]bool) map[types.Object]bool {
+	locals := map[types.Object]bool{}
+	constructed := func(rhs ast.Expr) bool {
+		switch r := unparen(rhs).(type) {
+		case *ast.CallExpr, *ast.CompositeLit:
+			return true
+		case *ast.UnaryExpr:
+			if r.Op.String() == "&" {
+				_, ok := r.X.(*ast.CompositeLit)
+				return ok
+			}
+		}
+		return false
+	}
+	mark := func(lhs, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || !constructed(rhs) {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		for name := range typeNames {
+			if isPkgType(obj.Type(), pkgPath, name) {
+				locals[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if len(as.Rhs) == 1 {
+			for _, lhs := range as.Lhs {
+				mark(lhs, as.Rhs[0])
+			}
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i < len(as.Rhs) {
+				mark(lhs, as.Rhs[i])
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// fieldTargetOfTypes is storeFieldTarget generalized to an arbitrary
+// set of type names.
+func fieldTargetOfTypes(info *types.Info, pkgPath string, lhs ast.Expr, typeNames map[string]bool) (*ast.SelectorExpr, storeField) {
+	for {
+		switch x := lhs.(type) {
+		case *ast.IndexExpr:
+			lhs = x.X
+		case *ast.StarExpr:
+			lhs = x.X
+		case *ast.ParenExpr:
+			lhs = x.X
+		case *ast.SelectorExpr:
+			s, ok := info.Selections[x]
+			if !ok || s.Kind() != types.FieldVal {
+				return nil, storeField{}
+			}
+			recv, ok := namedType(s.Recv())
+			if !ok || recv.Obj().Pkg() == nil || recv.Obj().Pkg().Path() != pkgPath {
+				return nil, storeField{}
+			}
+			if !typeNames[recv.Obj().Name()] {
+				return nil, storeField{}
+			}
+			return x, storeField{recvName: recv.Obj().Name(), fieldName: s.Obj().Name()}
+		default:
+			return nil, storeField{}
+		}
+	}
+}

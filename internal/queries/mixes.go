@@ -126,6 +126,20 @@ var mixes = []Mix{
 		},
 		UpdateWeight: 10,
 	},
+	{
+		Name: "write-heavy",
+		Description: "ingest-dominated traffic: yearly DBLP insert batches " +
+			"outweigh the reads (60% updates), with cheap lookups and one " +
+			"join verifying reader latency under a hot write path",
+		Weights: map[string]int{
+			"q1":   15, // single journal lookup
+			"q10":  10, // object-bound point access
+			"q12a": 5,  // ASK probe exercising a join under writes
+			"q3b":  5,  // selective filter
+			"q5b":  5,  // one real join in the read tail
+		},
+		UpdateWeight: 60,
+	},
 }
 
 func uniformWeights() map[string]int {

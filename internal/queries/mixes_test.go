@@ -45,6 +45,20 @@ func TestMixedUpdateHasUpdateShare(t *testing.T) {
 	}
 }
 
+func TestWriteHeavyIsUpdateDominated(t *testing.T) {
+	m, ok := MixByName("write-heavy")
+	if !ok {
+		t.Fatal("write-heavy mix missing")
+	}
+	frac := float64(m.UpdateWeight) / float64(m.TotalWeight())
+	if frac <= 0.5 {
+		t.Fatalf("write-heavy update share %v, want > 0.5 (update-dominated)", frac)
+	}
+	if len(m.QueryIDs()) == 0 {
+		t.Fatal("write-heavy must keep a read component to measure reader latency")
+	}
+}
+
 func TestMixNamesSorted(t *testing.T) {
 	names := MixNames()
 	for i := 1; i < len(names); i++ {

@@ -19,10 +19,10 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"sp2bench/internal/engine"
+	"sp2bench/internal/mvcc"
 	"sp2bench/internal/rdf"
 	"sp2bench/internal/results"
 	"sp2bench/internal/sparql"
@@ -34,22 +34,29 @@ import (
 // while keeping hostile payloads out of memory.
 const maxQueryBytes = 1 << 20
 
-// Config tunes one protocol endpoint.
+// Config tunes one protocol endpoint. Exactly one of Engine and Live
+// must be set: Engine serves an immutable store with one shared engine;
+// Live serves a mutable MVCC deployment by pinning a snapshot per
+// request — queries run against a consistent dataset version without
+// ever blocking on the update handler.
 type Config struct {
-	// Engine evaluates the queries (required). Engines are stateless
-	// after construction, so one instance serves all requests.
+	// Engine evaluates the queries of an immutable deployment. Engines
+	// are stateless after construction, so one instance serves all
+	// requests.
 	Engine *engine.Engine
+	// Live is the multi-version store of a mutable deployment. Each
+	// request takes a snapshot and evaluates on a per-request engine
+	// built with Opts.
+	Live *mvcc.Store
+	// Opts configures the per-request engines of a Live deployment;
+	// ignored when Engine is set.
+	Opts engine.Options
 	// Timeout is the per-request evaluation limit (0 = none). Requests
 	// exceeding it answer 503.
 	Timeout time.Duration
 	// MaxConcurrent caps in-flight evaluations (0 = unlimited). Excess
 	// requests queue until a slot frees or their context ends.
 	MaxConcurrent int
-	// Lock, when non-nil, is held for reading around every evaluation.
-	// It is how a mutable deployment (an update handler holding the
-	// write side) keeps queries off the store while its indexes are
-	// being rebuilt; nil keeps the immutable fast path lock-free.
-	Lock *sync.RWMutex
 	// Logf, when non-nil, receives one line per completed request.
 	Logf func(format string, args ...any)
 }
@@ -61,6 +68,34 @@ type Server struct {
 	sem chan struct{}
 }
 
+// statsDoc is the /stats JSON document: the store footprint plus the
+// generational breakdown (zero generation for immutable deployments).
+type statsDoc struct {
+	Triples         int    `json:"triples"`
+	Terms           int    `json:"terms"`
+	IndexBytes      int64  `json:"index_bytes"`
+	TermBytes       int64  `json:"term_bytes"`
+	Generation      uint64 `json:"generation"`
+	BaseTriples     int    `json:"base_triples"`
+	DeltaTriples    int    `json:"delta_triples"`
+	DeltaBytes      int64  `json:"delta_bytes"`
+	ActiveSnapshots int64  `json:"active_snapshots"`
+	Merges          uint64 `json:"merges"`
+}
+
+func statsFromFootprint(f store.Footprint) statsDoc {
+	return statsDoc{
+		Triples:      f.Triples,
+		Terms:        f.Terms,
+		IndexBytes:   f.IndexBytes,
+		TermBytes:    f.TermBytes,
+		Generation:   f.Generation,
+		BaseTriples:  f.BaseTriples,
+		DeltaTriples: f.DeltaTriples,
+		DeltaBytes:   f.DeltaBytes,
+	}
+}
+
 // StatsHandler serves a small JSON document describing a store's
 // footprint (triples, dictionary terms, approximate index and term
 // bytes) — the observability endpoint sp2bserve mounts at /stats so
@@ -69,12 +104,9 @@ func StatsHandler(st *store.Store) http.Handler {
 	// The store is immutable once served, and Footprint walks the whole
 	// dictionary — compute the document once, not per request.
 	f := st.Footprint()
-	body, err := json.Marshal(struct {
-		Triples    int   `json:"triples"`
-		Terms      int   `json:"terms"`
-		IndexBytes int64 `json:"index_bytes"`
-		TermBytes  int64 `json:"term_bytes"`
-	}{f.Triples, f.Terms, f.IndexBytes, f.TermBytes})
+	doc := statsFromFootprint(f)
+	doc.BaseTriples = f.Triples
+	body, err := json.Marshal(doc)
 	if err != nil { // static struct of integers; cannot happen
 		panic(err)
 	}
@@ -87,8 +119,11 @@ func StatsHandler(st *store.Store) http.Handler {
 
 // New validates the configuration and returns the handler.
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
+	if cfg.Engine == nil && cfg.Live == nil {
 		return nil, fmt.Errorf("server: no engine configured")
+	}
+	if cfg.Engine != nil && cfg.Live != nil {
+		return nil, fmt.Errorf("server: both Engine and Live configured; want exactly one")
 	}
 	s := &Server{cfg: cfg}
 	if cfg.MaxConcurrent > 0 {
@@ -113,8 +148,6 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // serve runs the request and returns (status, log detail). Error
 // statuses are written by httpError; success statuses by the result
 // writer.
-//
-// sp2b:locks=read evaluation holds cfg.Lock.RLock when a lock is configured
 func (s *Server) serve(w http.ResponseWriter, r *http.Request) (int, string) {
 	text, status, err := queryText(r)
 	if err != nil {
@@ -149,13 +182,16 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) (int, string) {
 		return httpError(w, http.StatusServiceUnavailable, fmt.Errorf("query timed out"))
 	}
 
-	if s.cfg.Lock != nil {
-		s.cfg.Lock.RLock()
+	// Mutable deployments pin one dataset version for the whole request:
+	// concurrent inserts land in later versions and are simply not
+	// visible, so a query never sees half of a batch and never waits.
+	eng := s.cfg.Engine
+	if s.cfg.Live != nil {
+		sn := s.cfg.Live.Snapshot()
+		defer sn.Close()
+		eng = engine.NewReader(sn, s.cfg.Opts)
 	}
-	res, graph, err := s.cfg.Engine.Eval(ctx, q)
-	if s.cfg.Lock != nil {
-		s.cfg.Lock.RUnlock()
-	}
+	res, graph, err := eng.Eval(ctx, q)
 	switch {
 	case err == nil:
 	case errors.Is(err, engine.ErrCancelled) || ctx.Err() != nil:

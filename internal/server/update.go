@@ -5,11 +5,10 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
-	"sync"
 	"time"
 
+	"sp2bench/internal/mvcc"
 	"sp2bench/internal/rdf"
-	"sp2bench/internal/store"
 )
 
 // maxUpdateBytes bounds insert batches. Yearly DBLP deltas are a few
@@ -18,23 +17,25 @@ import (
 const maxUpdateBytes = 64 << 20
 
 // UpdateHandler serves the insert operation of a mutable deployment:
-// POST an application/n-triples body and the statements are added to
-// the store under the write side of lock — the same lock the query
-// handler holds for reading (Config.Lock), so readers never observe the
-// index rebuild mid-flight. The batch is parsed before the lock is
-// taken: a syntax error costs no reader any latency and leaves the
-// store untouched, and the lock is held only for the apply.
+// POST an application/n-triples body and the statements are committed
+// to the multi-version store as one atomic batch. Readers are never
+// blocked — in-flight queries keep their pinned snapshot, later
+// requests see the new version — and the background merger folds the
+// accumulated delta into a fresh generation off the request path. The
+// batch is parsed before the commit: a syntax error leaves the store
+// untouched.
 //
 // The response is a small JSON acknowledgment:
 //
-//	{"inserted": <statements parsed>, "triples": <store size after>}
+//	{"inserted": <statements added>, "triples": <store size after>}
 //
-// where "triples" counts distinct triples (duplicates in the batch or
-// against the store deduplicate on re-freeze).
-func UpdateHandler(st *store.Store, lock *sync.RWMutex, logf func(format string, args ...any)) http.Handler {
+// where "inserted" counts statements actually new to the dataset
+// (duplicates in the batch or against the store are dropped — RDF
+// graphs are sets).
+func UpdateHandler(live *mvcc.Store, logf func(format string, args ...any)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		status, detail := serveUpdate(st, lock, w, r)
+		status, detail := serveUpdate(live, w, r)
 		if logf != nil {
 			logf("%s %s %d %v %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond), detail)
 		}
@@ -42,9 +43,7 @@ func UpdateHandler(st *store.Store, lock *sync.RWMutex, logf func(format string,
 }
 
 // serveUpdate ingests one POSTed N-Triples batch into the live store.
-//
-// sp2b:locks=write UpdateTriples runs under lock.Lock below
-func serveUpdate(st *store.Store, lock *sync.RWMutex, w http.ResponseWriter, r *http.Request) (int, string) {
+func serveUpdate(live *mvcc.Store, w http.ResponseWriter, r *http.Request) (int, string) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
 		err := fmt.Errorf("method %s not allowed (want POST)", r.Method)
@@ -65,35 +64,29 @@ func serveUpdate(st *store.Store, lock *sync.RWMutex, w http.ResponseWriter, r *
 		return http.StatusBadRequest, err.Error()
 	}
 
-	lock.Lock()
-	st.UpdateTriples(batch)
-	total := st.Len()
-	lock.Unlock()
+	inserted := live.Apply(batch)
+	total := live.Len()
 
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(struct {
 		Inserted int `json:"inserted"`
 		Triples  int `json:"triples"`
-	}{len(batch), total})
-	return http.StatusOK, fmt.Sprintf("inserted %d triples (store now %d)", len(batch), total)
+	}{inserted, total})
+	return http.StatusOK, fmt.Sprintf("inserted %d triples (store now %d)", inserted, total)
 }
 
-// LiveStatsHandler is StatsHandler for a mutable store: the footprint
-// is computed per request under the read lock instead of once at
-// startup, so /stats tracks the update stream.
-//
-// sp2b:locks=read the footprint is read-only and runs under lock.RLock
-func LiveStatsHandler(st *store.Store, lock *sync.RWMutex) http.Handler {
+// LiveStatsHandler is StatsHandler for a mutable deployment: the
+// footprint is computed per request from the current version, so
+// /stats tracks the update stream — including the generation number,
+// the base/delta split, and how many snapshots are still pinned to
+// older versions.
+func LiveStatsHandler(live *mvcc.Store) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		lock.RLock()
-		f := st.Footprint()
-		lock.RUnlock()
+		doc := statsFromFootprint(live.Footprint())
+		st := live.Stats()
+		doc.ActiveSnapshots = st.ActiveSnapshots
+		doc.Merges = st.Merges
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(struct {
-			Triples    int   `json:"triples"`
-			Terms      int   `json:"terms"`
-			IndexBytes int64 `json:"index_bytes"`
-			TermBytes  int64 `json:"term_bytes"`
-		}{f.Triples, f.Terms, f.IndexBytes, f.TermBytes})
+		json.NewEncoder(w).Encode(doc)
 	})
 }

@@ -5,34 +5,35 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
-	"sync"
 	"testing"
 
 	"sp2bench/internal/engine"
+	"sp2bench/internal/mvcc"
 	"sp2bench/internal/rdf"
 	"sp2bench/internal/store"
 )
 
-func updateFixture(t *testing.T) (*store.Store, *sync.RWMutex, *httptest.Server, *httptest.Server) {
+func updateFixture(t *testing.T) (*mvcc.Store, *httptest.Server, *httptest.Server) {
 	t.Helper()
 	st := store.New()
 	if _, err := st.Load(strings.NewReader("<a> <p> <b> .\n")); err != nil {
 		t.Fatal(err)
 	}
-	var lock sync.RWMutex
-	h, err := New(Config{Engine: engine.New(st, engine.Native()), Lock: &lock})
+	live := mvcc.New(st, mvcc.MergePolicy{Disabled: true})
+	t.Cleanup(live.Close)
+	h, err := New(Config{Live: live, Opts: engine.Native()})
 	if err != nil {
 		t.Fatal(err)
 	}
 	qsrv := httptest.NewServer(h)
 	t.Cleanup(qsrv.Close)
-	usrv := httptest.NewServer(UpdateHandler(st, &lock, nil))
+	usrv := httptest.NewServer(UpdateHandler(live, nil))
 	t.Cleanup(usrv.Close)
-	return st, &lock, qsrv, usrv
+	return live, qsrv, usrv
 }
 
 func TestUpdateHandlerInsertsAndQueries(t *testing.T) {
-	st, _, qsrv, usrv := updateFixture(t)
+	live, qsrv, usrv := updateFixture(t)
 	resp, err := http.Post(usrv.URL, "application/n-triples",
 		strings.NewReader("<c> <p> <d> .\n<a> <p> <b> .\n"))
 	if err != nil {
@@ -49,11 +50,11 @@ func TestUpdateHandlerInsertsAndQueries(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&ack); err != nil {
 		t.Fatal(err)
 	}
-	if ack.Inserted != 2 || ack.Triples != 2 { // <a p b> deduplicates
-		t.Fatalf("ack = %+v, want inserted 2, triples 2", ack)
+	if ack.Inserted != 1 || ack.Triples != 2 { // <a p b> deduplicates
+		t.Fatalf("ack = %+v, want inserted 1, triples 2", ack)
 	}
-	if st.Len() != 2 {
-		t.Fatalf("store has %d triples, want 2", st.Len())
+	if live.Len() != 2 {
+		t.Fatalf("store has %d triples, want 2", live.Len())
 	}
 	// The inserted triple is visible through the query operation.
 	q, err := http.Get(qsrv.URL + "?query=" + "SELECT%20%3Fo%20WHERE%20%7B%20%3Cc%3E%20%3Cp%3E%20%3Fo%20%7D")
@@ -75,8 +76,8 @@ func TestUpdateHandlerInsertsAndQueries(t *testing.T) {
 }
 
 func TestUpdateHandlerFaults(t *testing.T) {
-	st, _, _, usrv := updateFixture(t)
-	before := st.Len()
+	live, _, usrv := updateFixture(t)
+	before := live.Len()
 
 	// GET is not an update.
 	resp, err := http.Get(usrv.URL)
@@ -107,39 +108,41 @@ func TestUpdateHandlerFaults(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("bad syntax status %d, want 400", resp.StatusCode)
 	}
-	if st.Len() != before {
-		t.Errorf("failed update mutated the store: %d -> %d", before, st.Len())
-	}
-	if !st.Frozen() {
-		t.Error("store must stay frozen after a rejected update")
+	if live.Len() != before {
+		t.Errorf("failed update mutated the store: %d -> %d", before, live.Len())
 	}
 }
 
 func TestLiveStatsHandlerTracksUpdates(t *testing.T) {
-	st, lock, _, _ := updateFixture(t)
-	srv := httptest.NewServer(LiveStatsHandler(st, lock))
+	live, _, _ := updateFixture(t)
+	srv := httptest.NewServer(LiveStatsHandler(live))
 	defer srv.Close()
-	read := func() int {
+	read := func() statsDoc {
 		resp, err := http.Get(srv.URL)
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var s struct {
-			Triples int `json:"triples"`
-		}
+		var s statsDoc
 		if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
 			t.Fatal(err)
 		}
-		return s.Triples
+		return s
 	}
-	if got := read(); got != 1 {
-		t.Fatalf("initial triples %d, want 1", got)
+	if got := read(); got.Triples != 1 || got.Generation != 1 || got.DeltaTriples != 0 {
+		t.Fatalf("initial stats = %+v, want 1 triple, gen 1, empty delta", got)
 	}
-	lock.Lock()
-	st.UpdateTriples([]rdf.Triple{rdf.NewTriple(rdf.IRI("x"), rdf.IRI("p"), rdf.IRI("y"))})
-	lock.Unlock()
-	if got := read(); got != 2 {
-		t.Fatalf("after update triples %d, want 2", got)
+	live.Apply([]rdf.Triple{rdf.NewTriple(rdf.IRI("x"), rdf.IRI("p"), rdf.IRI("y"))})
+	got := read()
+	if got.Triples != 2 || got.BaseTriples != 1 || got.DeltaTriples != 1 {
+		t.Fatalf("after update stats = %+v, want 2 = 1 base + 1 delta", got)
+	}
+	if got.DeltaBytes == 0 {
+		t.Error("delta bytes not reported")
+	}
+	live.MergeNow()
+	got = read()
+	if got.Generation != 2 || got.BaseTriples != 2 || got.DeltaTriples != 0 || got.Merges != 1 {
+		t.Fatalf("after merge stats = %+v, want gen 2, 2 base, 0 delta, 1 merge", got)
 	}
 }

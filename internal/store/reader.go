@@ -1,0 +1,71 @@
+package store
+
+import "sp2bench/internal/rdf"
+
+// TermSource is the read-only dictionary surface a query engine needs:
+// ID→term resolution, term→ID lookup, and the vocabulary size. *Dict
+// implements it directly; the MVCC subsystem implements it with a
+// layered dictionary (frozen base vocabulary plus an immutable delta
+// extension) so snapshots resolve terms interned after their base
+// generation froze.
+type TermSource interface {
+	// Term resolves an ID to its term; it panics on IDs the source has
+	// never issued (programmer error, not bad input).
+	Term(id ID) rdf.Term
+	// Lookup returns the ID for t without interning; ok is false when
+	// the term is not in the vocabulary.
+	Lookup(t rdf.Term) (ID, bool)
+	// Len is the vocabulary size: IDs 1..Len are resolvable.
+	Len() int
+}
+
+// Reader is the read-only query surface of a triple source: everything
+// the engine's compiler, optimizer, and physical operators consume. A
+// frozen *Store implements it over its three sorted indexes; an
+// mvcc.Snapshot implements it by merging a frozen base generation with
+// an immutable delta index, which is what lets queries run against a
+// consistent view while writers ingest new batches.
+//
+// All methods must be safe for concurrent use and must return stable
+// results for the lifetime of the Reader: the engine assumes a Reader
+// is an immutable snapshot of one dataset version.
+type Reader interface {
+	// TermDict returns the dictionary view the reader's IDs resolve in.
+	TermDict() TermSource
+	// Len returns the number of distinct triples.
+	Len() int
+	// Triples returns the full dataset in SPO component order; callers
+	// must not mutate the slice. The in-memory engine scans it.
+	Triples() []EncTriple
+	// Iterate streams the triples matching the pattern (NoID components
+	// are wildcards) in index order.
+	Iterate(sub, pred, obj ID) *Iterator
+	// Range returns the index range matching the pattern under the
+	// ordering ChooseOrder selects.
+	Range(sub, pred, obj ID) IndexRange
+	// RangeIn returns the range matching the pattern within a specific
+	// index ordering (merge joins pick the order for its sort).
+	RangeIn(ord Order, sub, pred, obj ID) IndexRange
+	// Count returns the number of matching triples without
+	// materializing them.
+	Count(sub, pred, obj ID) int
+
+	// Statistics for the optimizer's selectivity estimator. Estimates,
+	// not contracts: an implementation layering a delta over a base may
+	// approximate the distinct counts.
+	PredCardinality(p ID) int
+	DistinctSubjects(p ID) int
+	DistinctObjects(p ID) int
+	TotalDistinctSubjects() int
+	TotalDistinctObjects() int
+	DistinctPredicates() int
+}
+
+// TermDict returns the store's dictionary as a TermSource, satisfying
+// Reader (Dict returns the concrete type for writers and the snapshot
+// codec).
+func (s *Store) TermDict() TermSource { return s.dict }
+
+// Store's query methods are defined in store.go; the assertion pins the
+// interface.
+var _ Reader = (*Store)(nil)

@@ -38,8 +38,10 @@ func (o Order) String() string {
 	}
 }
 
-// permute maps an SPO-ordered triple into the index's component order.
-func (o Order) permute(t EncTriple) EncTriple {
+// Permute maps an SPO-ordered triple into the index's component order.
+// Exported for the MVCC delta index, which keeps its sorted runs in the
+// same three component orders as the frozen indexes.
+func (o Order) Permute(t EncTriple) EncTriple {
 	switch o {
 	case OrderSPO:
 		return t
@@ -50,8 +52,8 @@ func (o Order) permute(t EncTriple) EncTriple {
 	}
 }
 
-// unpermute maps an index-ordered triple back to SPO order.
-func (o Order) unpermute(t EncTriple) EncTriple {
+// Unpermute maps an index-ordered triple back to SPO order.
+func (o Order) Unpermute(t EncTriple) EncTriple {
 	switch o {
 	case OrderSPO:
 		return t
@@ -94,6 +96,17 @@ func New() *Store {
 	}
 }
 
+// NewWithDict returns an empty store that adopts an existing
+// dictionary: triples added with AddEncoded may reference any ID the
+// dictionary has issued. The MVCC merger uses it to build the next
+// frozen generation from a flattened base+delta vocabulary without
+// re-interning a single term.
+func NewWithDict(d *Dict) *Store {
+	s := New()
+	s.dict = d
+	return s
+}
+
 // Dict exposes the store's dictionary.
 func (s *Store) Dict() *Dict { return s.dict }
 
@@ -115,6 +128,17 @@ func (s *Store) AddEncoded(t EncTriple) {
 		panic("store: Add after Freeze")
 	}
 	s.triples = append(s.triples, t)
+}
+
+// AddEncodedAll bulk-appends already-encoded triples — AddEncoded for a
+// whole batch, one grow instead of len(ts).
+//
+// sp2b:mutates-store loading-phase bulk append; panics if the store is frozen
+func (s *Store) AddEncodedAll(ts []EncTriple) {
+	if s.frozen {
+		panic("store: Add after Freeze")
+	}
+	s.triples = append(s.triples, ts...)
 }
 
 // Load reads every triple from an N-Triples reader into the store and
@@ -151,7 +175,7 @@ func (s *Store) Freeze() {
 			defer wg.Done()
 			idx := make([]EncTriple, len(s.triples))
 			for i, t := range s.triples {
-				idx[i] = ord.permute(t)
+				idx[i] = ord.Permute(t)
 			}
 			sortTriples(idx)
 			s.indexes[ord] = idx
@@ -269,6 +293,15 @@ func sortTriples(ts []EncTriple) {
 	slices.SortFunc(ts, cmpTriple)
 }
 
+// SortEncTriples sorts encoded triples lexicographically by component —
+// valid for rows of any one component order. Exported for the MVCC
+// delta index, whose sorted runs use the store's comparison.
+func SortEncTriples(ts []EncTriple) { sortTriples(ts) }
+
+// CompareEnc is the lexicographic component comparison the indexes are
+// sorted by, exported for code merging index-ordered runs.
+func CompareEnc(a, b EncTriple) int { return cmpTriple(a, b) }
+
 // cmpTriple orders triples lexicographically by component. The first two
 // components are packed into one uint64 comparison; profiling shows this
 // and slices.SortFunc's pdqsort make index construction measurably
@@ -335,7 +368,7 @@ func (it *Iterator) Next() (EncTriple, bool) {
 		if (it.filt[0] == NoID || row[0] == it.filt[0]) &&
 			(it.filt[1] == NoID || row[1] == it.filt[1]) &&
 			(it.filt[2] == NoID || row[2] == it.filt[2]) {
-			return it.order.unpermute(row), true
+			return it.order.Unpermute(row), true
 		}
 	}
 	return EncTriple{}, false
@@ -401,7 +434,7 @@ func (s *Store) RangeIn(ord Order, sub, pred, obj ID) IndexRange {
 	if !s.frozen {
 		panic("store: RangeIn before Freeze")
 	}
-	key := ord.permute(EncTriple{sub, pred, obj})
+	key := ord.Permute(EncTriple{sub, pred, obj})
 	idx := s.indexes[ord]
 
 	// Length of the bound prefix in index order.
@@ -475,7 +508,7 @@ func (s *Store) Count(sub, pred, obj ID) int {
 		panic("store: Count before Freeze")
 	}
 	ord := ChooseOrder(sub != NoID, pred != NoID, obj != NoID)
-	key := ord.permute(EncTriple{sub, pred, obj})
+	key := ord.Permute(EncTriple{sub, pred, obj})
 	prefix := 0
 	for prefix < 3 && key[prefix] != NoID {
 		prefix++
@@ -672,6 +705,17 @@ type Footprint struct {
 	// TermBytes sums the dictionary's string payloads (map and header
 	// overhead excluded, hence "approximate").
 	TermBytes int64
+
+	// Generational breakdown, filled by the MVCC store: which frozen
+	// generation the base is, and how the triples split between the
+	// immutable base and the mutable delta index. Zero for a plain
+	// frozen store (Generation 0 with no delta).
+	Generation   uint64
+	BaseTriples  int
+	DeltaTriples int
+	// DeltaBytes approximates the delta index's footprint (three sorted
+	// runs at 12 bytes per row, like IndexBytes).
+	DeltaBytes int64
 }
 
 // Footprint computes the store's approximate memory footprint.
@@ -688,8 +732,13 @@ func (s *Store) Footprint() Footprint {
 }
 
 func (f Footprint) String() string {
-	return fmt.Sprintf("%d triples, %d terms, ~%s indexes + ~%s term data",
+	s := fmt.Sprintf("%d triples, %d terms, ~%s indexes + ~%s term data",
 		f.Triples, f.Terms, mib(f.IndexBytes), mib(f.TermBytes))
+	if f.DeltaTriples > 0 || f.Generation > 0 {
+		s += fmt.Sprintf(" (gen %d: %d base + %d delta, ~%s delta runs)",
+			f.Generation, f.BaseTriples, f.DeltaTriples, mib(f.DeltaBytes))
+	}
+	return s
 }
 
 func mib(n int64) string {

@@ -236,7 +236,7 @@ func TestChooseOrder(t *testing.T) {
 func TestOrderPermuteRoundTrip(t *testing.T) {
 	tr := EncTriple{1, 2, 3}
 	for _, ord := range []Order{OrderSPO, OrderPOS, OrderOSP} {
-		if got := ord.unpermute(ord.permute(tr)); got != tr {
+		if got := ord.Unpermute(ord.Permute(tr)); got != tr {
 			t.Errorf("%v: unpermute(permute(%v)) = %v", ord, tr, got)
 		}
 	}

@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"sp2bench/internal/client"
 	"sp2bench/internal/engine"
 	"sp2bench/internal/gen"
+	"sp2bench/internal/mvcc"
 	"sp2bench/internal/queries"
 	"sp2bench/internal/rdf"
 	"sp2bench/internal/sparql"
@@ -84,68 +86,69 @@ func UpdateBatches(seed uint64, endYear, n int) ([][]rdf.Triple, error) {
 	return batches, nil
 }
 
-// StoreShared is the state every StoreTarget of one scenario shares: the
-// store, the reader/writer lock that serializes updates against queries
-// (the sorted-array store rebuilds its indexes on update, which readers
-// must not observe mid-flight), and the update batch queue.
+// StoreShared is the state every StoreTarget of one scenario shares: a
+// generational MVCC view of the store and the update batch queue. There
+// is no reader/writer lock — queries pin a snapshot of one dataset
+// version and run lock-free while updates commit to later versions, the
+// contention-free concurrency the mixed-update mixes measure.
 type StoreShared struct {
-	st      *store.Store
+	live    *mvcc.Store
 	opts    engine.Options
 	name    string
-	mu      sync.RWMutex
 	batches *BatchQueue
-	applied int
+	applied atomic.Int64
 }
 
-// NewStoreShared prepares a store for scenario driving. batches may be
-// nil for read-only mixes.
+// NewStoreShared prepares a store for scenario driving; the store is
+// adopted as the base generation of an MVCC store and must not be
+// mutated by the caller afterwards. batches may be nil for read-only
+// mixes.
 func NewStoreShared(name string, st *store.Store, opts engine.Options, batches *BatchQueue) *StoreShared {
-	return &StoreShared{name: name, st: st, opts: opts, batches: batches}
+	return &StoreShared{name: name, live: mvcc.New(st, mvcc.MergePolicy{}), opts: opts, batches: batches}
 }
 
-// TriplesApplied reports how many statements update operations inserted
-// (before store-side deduplication).
+// Close drains the background merger. Call once the scenario is done.
+func (s *StoreShared) Close() { s.live.Close() }
+
+// Live exposes the underlying MVCC store (observability: generation and
+// delta size for reports).
+func (s *StoreShared) Live() *mvcc.Store { return s.live }
+
+// TriplesApplied reports how many statements update operations
+// submitted (before deduplication against the dataset).
 func (s *StoreShared) TriplesApplied() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.applied
+	return int(s.applied.Load())
 }
 
 // Factory returns a TargetFactory building one StoreTarget per worker.
-// Targets share the lock and batch queue but own their engine instance
-// and parse cache (neither is safe for concurrent use). Construction
-// holds the write lock: engine.New freezes a thawed store, which must
-// not interleave with an update already in flight on another worker.
-//
-// sp2b:locks=write engine.New freezes the store under s.mu.Lock
+// Targets share the MVCC store and batch queue but own their parse
+// cache (not safe for concurrent use). Engines are per-operation: each
+// query takes its own snapshot.
 func (s *StoreShared) Factory() TargetFactory {
 	return func() Target {
-		s.mu.Lock()
-		defer s.mu.Unlock()
 		return &StoreTarget{
 			shared: s,
-			eng:    engine.New(s.st, s.opts),
 			parsed: map[string]*sparql.Query{},
 		}
 	}
 }
 
-// StoreTarget drives an in-process engine over the shared store. Query
-// operations hold the read lock; updates the write lock.
+// StoreTarget drives an in-process engine over the shared store. Each
+// query operation pins a fresh snapshot, so it sees a consistent
+// dataset version without blocking updates running on other workers.
 type StoreTarget struct {
 	shared *StoreShared
-	eng    *engine.Engine
 	parsed map[string]*sparql.Query
 }
 
 // Name implements Target.
 func (t *StoreTarget) Name() string { return t.shared.name }
 
-// Execute implements Target. Parsing is cached outside the lock — the
-// protocol measures evaluation, and the cache makes repeat draws of a
-// query (the point of a weighted mix) parser-free.
-//
-// sp2b:locks=read evaluation holds shared.mu.RLock
+// Execute implements Target. Parsing is cached — the protocol measures
+// evaluation, and the cache makes repeat draws of a query (the point of
+// a weighted mix) parser-free. Snapshot acquisition is an atomic load
+// plus a refcount, so it stays inside the measured window without
+// distorting it.
 func (t *StoreTarget) Execute(ctx context.Context, q queries.Query) (int, error) {
 	pq, ok := t.parsed[q.ID]
 	if !ok {
@@ -156,17 +159,14 @@ func (t *StoreTarget) Execute(ctx context.Context, q queries.Query) (int, error)
 		}
 		t.parsed[q.ID] = pq
 	}
-	t.shared.mu.RLock()
-	defer t.shared.mu.RUnlock()
-	return t.eng.Count(ctx, pq)
+	sn := t.shared.live.Snapshot()
+	defer sn.Close()
+	return engine.NewReader(sn, t.shared.opts).Count(ctx, pq)
 }
 
-// ApplyUpdate implements Updater: it applies the next insert batch
-// under the write lock, paying the store's honest re-freeze cost while
-// every reader waits — exactly the contention the mixed-update mix
-// exists to measure.
-//
-// sp2b:locks=write UpdateTriples runs under shared.mu.Lock
+// ApplyUpdate implements Updater: it commits the next insert batch as
+// one atomic version bump. Readers keep their pinned snapshots; the
+// background merger pays the index-rebuild cost off the operation path.
 func (t *StoreTarget) ApplyUpdate(ctx context.Context) (int, error) {
 	if t.shared.batches == nil {
 		return 0, fmt.Errorf("workload: store target has no update batches")
@@ -175,10 +175,8 @@ func (t *StoreTarget) ApplyUpdate(ctx context.Context) (int, error) {
 		return 0, err
 	}
 	batch := t.shared.batches.Next()
-	t.shared.mu.Lock()
-	defer t.shared.mu.Unlock()
-	t.shared.st.UpdateTriples(batch)
-	t.shared.applied += len(batch)
+	t.shared.live.Apply(batch)
+	t.shared.applied.Add(int64(len(batch)))
 	return len(batch), nil
 }
 

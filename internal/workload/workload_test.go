@@ -5,13 +5,13 @@ import (
 	"context"
 	"math"
 	"net/http/httptest"
-	"sync"
 	"testing"
 	"time"
 
 	"sp2bench/internal/client"
 	"sp2bench/internal/engine"
 	"sp2bench/internal/gen"
+	"sp2bench/internal/mvcc"
 	"sp2bench/internal/queries"
 	"sp2bench/internal/server"
 	"sp2bench/internal/store"
@@ -236,6 +236,7 @@ func TestStoreTargetMixedUpdateScenario(t *testing.T) {
 		t.Fatal(err)
 	}
 	shared := workload.NewStoreShared("native", st, engine.Native(), bq)
+	defer shared.Close()
 	sc := workload.Scenario{
 		Mix:      mustMix(t, "q1:1,q10:1,update:1"),
 		Clients:  4,
@@ -255,11 +256,8 @@ func TestStoreTargetMixedUpdateScenario(t *testing.T) {
 	if shared.TriplesApplied() == 0 {
 		t.Fatal("no triples applied")
 	}
-	if st.Len() <= before {
-		t.Fatalf("store did not grow: %d -> %d", before, st.Len())
-	}
-	if !st.Frozen() {
-		t.Fatal("store must end frozen")
+	if shared.Live().Len() <= before {
+		t.Fatalf("store did not grow: %d -> %d", before, shared.Live().Len())
 	}
 	found := false
 	for _, qs := range res.PerQuery {
@@ -277,17 +275,18 @@ func TestStoreTargetMixedUpdateScenario(t *testing.T) {
 
 func TestEndpointTargetOverHTTP(t *testing.T) {
 	st, stats := buildStore(t, 2000)
-	var lock sync.RWMutex
+	live := mvcc.New(st, mvcc.MergePolicy{Disabled: true})
+	defer live.Close()
 	h, err := server.New(server.Config{
-		Engine: engine.New(st, engine.Native()),
-		Lock:   &lock,
+		Live: live,
+		Opts: engine.Native(),
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	qsrv := httptest.NewServer(h)
 	defer qsrv.Close()
-	usrv := httptest.NewServer(server.UpdateHandler(st, &lock, nil))
+	usrv := httptest.NewServer(server.UpdateHandler(live, nil))
 	defer usrv.Close()
 
 	batches, err := workload.UpdateBatches(1, stats.EndYear, 2)
@@ -302,7 +301,7 @@ func TestEndpointTargetOverHTTP(t *testing.T) {
 	target := workload.NewEndpointTarget(c, bq)
 	factory := func() workload.Target { return target }
 
-	before := st.Len()
+	before := live.Len()
 	sc := workload.Scenario{
 		Mix:      mustMix(t, "q1:2,update:1"),
 		Rate:     100,
@@ -319,7 +318,7 @@ func TestEndpointTargetOverHTTP(t *testing.T) {
 	if res.Updates == 0 {
 		t.Fatal("no updates reached the endpoint")
 	}
-	if st.Len() <= before {
+	if live.Len() <= before {
 		t.Fatal("endpoint store did not grow")
 	}
 }
