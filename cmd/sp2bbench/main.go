@@ -84,6 +84,7 @@ func main() {
 		genSize    = flag.Int64("gen", 1_000_000, "triple count for generator experiments (fig2*, table9)")
 		quiet      = flag.Bool("quiet", false, "suppress progress output")
 		showStats  = flag.Bool("stats", false, "print the per-scale store footprint (triples, terms, index bytes) after the run")
+		analyze    = flag.Bool("analyze", false, "capture an EXPLAIN ANALYZE trace per cell on one extra unmeasured run (engine backends; traces land in the JSON report's runs[].trace)")
 		figdata    = flag.String("figdata", "", "also write gnuplot-ready per-query .dat files into this directory")
 
 		mixName  = flag.String("mix", "", "workload scenario mode: drive this query mix (uniform, lookup-heavy, join-heavy, mixed-update, or inline \"q1:9,update:1\") instead of the per-query sweep")
@@ -105,6 +106,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.MemLimitBytes = *memLimit
 	cfg.WorkDir = *workdir
+	cfg.Analyze = *analyze
 	if !*quiet {
 		cfg.Progress = os.Stderr
 	}

@@ -9,6 +9,7 @@
 //	sp2bquery -d doc.nt -id q4 -engine mem      # use the in-memory engine
 //	sp2bquery -d doc.nt -id q2 -count           # print only the count
 //	sp2bquery -d doc.nt -id q1 -format json     # SPARQL JSON results
+//	sp2bquery -d doc.nt -id q2 -analyze         # EXPLAIN ANALYZE operator trace
 //
 // The -d input may be N-Triples text or an .sp2b snapshot written by
 // sp2bgen -o doc.sp2b; the format is auto-detected by magic bytes, and
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"sp2bench/internal/core"
+	"sp2bench/internal/engine"
 	"sp2bench/internal/queries"
 	"sp2bench/internal/results"
 	"sp2bench/internal/sparql"
@@ -43,6 +45,7 @@ func main() {
 		timeout   = flag.Duration("timeout", 5*time.Minute, "query timeout")
 		countOnly = flag.Bool("count", false, "print only the result count")
 		explain   = flag.Bool("explain", false, "print the physical plan")
+		analyze   = flag.Bool("analyze", false, "print the EXPLAIN ANALYZE trace: per-operator actual vs estimated rows and wall time")
 		format    = flag.String("format", "table", "result format: json, xml, csv, tsv or table")
 		maxRows   = flag.Int("max", 100, "maximum rows/triples to print in table format (0 = all)")
 	)
@@ -96,6 +99,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprint(os.Stderr, plan)
+	}
+	var th *engine.TraceHandle
+	if *analyze {
+		ctx, th = engine.WithAnalyze(ctx)
+		defer func() {
+			if tr := th.Trace(); tr != nil {
+				fmt.Fprint(os.Stderr, tr.String())
+			}
+		}()
 	}
 	start := time.Now()
 	if *countOnly {

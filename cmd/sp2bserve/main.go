@@ -10,6 +10,7 @@
 //	sp2bserve -gen 50000                         # generate 50k triples in memory and serve them
 //	sp2bserve -d doc.nt -addr :9090 -engine mem  # in-memory engine family
 //	sp2bserve -d doc.nt -timeout 30s -max-concurrent 16
+//	sp2bserve -gen 50000 -debug-addr :6060       # pprof + /metrics side listener
 //
 // The -d input may be N-Triples text or an .sp2b snapshot (written by
 // sp2bgen -o doc.sp2b); the format is sniffed from the magic bytes, and
@@ -18,9 +19,17 @@
 // scales.
 //
 // The query operation is served on / and /sparql (GET ?query=, POST
-// form, POST application/sparql-query); /healthz answers liveness
-// probes and /stats reports the store footprint as JSON. SIGINT/SIGTERM
-// drain in-flight queries before exit.
+// form, POST application/sparql-query); appending ?analyze=1 answers
+// with an EXPLAIN ANALYZE trace document instead of the result set.
+// /metrics exposes the process metrics in Prometheus text format,
+// /stats reports the store footprint as JSON, and /healthz answers
+// probes: readiness by default (503 with {"status":"loading"} until the
+// store is queryable — the listener comes up before the document
+// loads), liveness with ?live=1 (200 whenever the process accepts
+// connections). With -debug-addr a side listener also mounts
+// net/http/pprof under /debug/pprof/, expvar under /debug/vars and a
+// second /metrics, so profiling stays off the serving port.
+// SIGINT/SIGTERM drain in-flight queries before exit.
 //
 // With -updates the store becomes mutable: POST an application/n-triples
 // body to /update and the statements are committed as one atomic batch
@@ -35,14 +44,18 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
-	"io"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -50,22 +63,34 @@ import (
 	"sp2bench/internal/engine"
 	"sp2bench/internal/gen"
 	"sp2bench/internal/mvcc"
+	"sp2bench/internal/obs"
 	"sp2bench/internal/server"
 	"sp2bench/internal/snapshot"
 	"sp2bench/internal/store"
 )
 
+// Store footprint gauges: set once after load (and on /stats refresh for
+// MVCC deployments the mvcc package's own gauges track the live state).
+var (
+	gTriples = obs.Default.Gauge("sp2b_store_triples",
+		"Triples in the loaded store at startup.")
+	gTerms = obs.Default.Gauge("sp2b_store_terms",
+		"Dictionary terms in the loaded store at startup.")
+)
+
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		data    = flag.String("d", "", "document to serve: N-Triples or .sp2b snapshot")
-		genSize = flag.Int64("gen", 0, "generate a document of this many triples instead of loading one")
-		engName = flag.String("engine", "native", "engine: native or mem")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-query evaluation limit (0 = none)")
-		maxConc = flag.Int("max-concurrent", 2*runtime.GOMAXPROCS(0), "max in-flight queries (0 = unlimited)")
-		seed    = flag.Uint64("seed", 1, "generator seed (with -gen)")
-		updates = flag.Bool("updates", false, "serve the insert operation on POST /update (store becomes mutable)")
-		quiet   = flag.Bool("quiet", false, "suppress per-request logging")
+		addr      = flag.String("addr", ":8080", "listen address")
+		debugAddr = flag.String("debug-addr", "", "side listener for /debug/pprof/, /debug/vars and /metrics (empty = off)")
+		data      = flag.String("d", "", "document to serve: N-Triples or .sp2b snapshot")
+		genSize   = flag.Int64("gen", 0, "generate a document of this many triples instead of loading one")
+		engName   = flag.String("engine", "native", "engine: native or mem")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-query evaluation limit (0 = none)")
+		maxConc   = flag.Int("max-concurrent", 2*runtime.GOMAXPROCS(0), "max in-flight queries (0 = unlimited)")
+		seed      = flag.Uint64("seed", 1, "generator seed (with -gen)")
+		updates   = flag.Bool("updates", false, "serve the insert operation on POST /update (store becomes mutable)")
+		logJSON   = flag.Bool("log-json", false, "log requests as JSON lines (log/slog) instead of text")
+		quiet     = flag.Bool("quiet", false, "suppress per-request logging")
 	)
 	flag.Parse()
 
@@ -85,14 +110,51 @@ func main() {
 		fatal(fmt.Errorf("unknown engine %q (want native or mem)", *engName))
 	}
 
+	// The listener comes up before the document loads so orchestrators
+	// can probe readiness: /healthz answers 503 until app holds the real
+	// mux, every other route 503s with the same body.
+	obs.PublishExpvar()
+	var app atomic.Pointer[http.ServeMux]
+	root := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			serveHealth(w, r, app.Load() != nil)
+			return
+		}
+		mux := app.Load()
+		if mux == nil {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]string{"status": "loading"})
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
+	srv := &http.Server{Addr: *addr, Handler: root}
+	errc := make(chan error, 2)
+	go func() { errc <- srv.ListenAndServe() }()
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: debugMux()}
+		go func() { errc <- dbg.ListenAndServe() }()
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "sp2bserve: debug listener (pprof, /metrics) on %s\n", *debugAddr)
+	}
+
 	st, err := loadStore(*data, *genSize, *seed)
 	if err != nil {
 		fatal(err)
 	}
+	fp := st.Footprint()
+	gTriples.Set(int64(fp.Triples))
+	gTerms.Set(int64(fp.Terms))
+
 	cfg := server.Config{Timeout: *timeout, MaxConcurrent: *maxConc}
 	if !*quiet {
-		cfg.Logf = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		if *logJSON {
+			cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		} else {
+			cfg.Logf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
 		}
 	}
 	var live *mvcc.Store
@@ -113,22 +175,18 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", h)
 	mux.Handle("/sparql", h)
+	mux.Handle("/metrics", obs.Handler())
 	if *updates {
 		mux.Handle("/update", server.UpdateHandler(live, cfg.Logf))
 		mux.Handle("/stats", server.LiveStatsHandler(live))
 	} else {
 		mux.Handle("/stats", server.StatsHandler(st))
 	}
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	app.Store(mux) // ready: /healthz flips to 200
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "sp2bserve: store footprint: %s\n", st.Footprint())
+	fmt.Fprintf(os.Stderr, "sp2bserve: store footprint: %s\n", fp)
 	fmt.Fprintf(os.Stderr, "sp2bserve: %s engine, listening on %s\n", *engName, *addr)
 
 	select {
@@ -142,6 +200,35 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fatal(err)
 	}
+}
+
+// serveHealth answers /healthz. The default is the readiness check
+// (ready once the store is loaded and query routes are live); ?live=1
+// is the liveness check, true as long as the process accepts
+// connections.
+func serveHealth(w http.ResponseWriter, r *http.Request, ready bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("live") != "" || ready {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]string{"status": "loading"})
+}
+
+// debugMux mounts the profiling and metrics surface served on the side
+// listener: net/http/pprof (explicitly, to keep it off the serving
+// mux), expvar, and the Prometheus exposition.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.Handle("/metrics", obs.Handler())
+	return mux
 }
 
 // loadStore builds the store from a document file (N-Triples or .sp2b

@@ -34,6 +34,12 @@ type bgpIter struct {
 	unitFilters []sparql.Expr
 	empty       bool // some constant is missing from the dictionary
 
+	// tsteps are the per-depth EXPLAIN ANALYZE counters (nil unless the
+	// query runs under WithAnalyze); test is the planner's cumulative
+	// cardinality estimate for the whole BGP.
+	tsteps []*tstep
+	test   float64
+
 	cur         []store.ID
 	state       []stepCursor
 	bound       [][]int // slots bound at each depth
@@ -119,6 +125,9 @@ func (b *bgpIter) next() ([]store.ID, bool, error) {
 		}
 		if !b.stepFiltersPass(d) {
 			continue
+		}
+		if b.tsteps != nil {
+			b.tsteps[d].rows.Add(1)
 		}
 		if d == last {
 			b.depth = d
@@ -290,7 +299,32 @@ func (c *compiled) buildBGP(patterns []sparql.TriplePattern, conjuncts []sparql.
 	if phys := c.planBGP(b, ordered, outer); phys != nil {
 		return phys, nil
 	}
+	if c.trace != nil {
+		b.tsteps, b.test = c.fallbackTraceSteps(ordered, outer)
+	}
 	return b, nil
+}
+
+// fallbackTraceSteps builds the per-depth EXPLAIN ANALYZE counters for
+// the nested-loop backtracker, pairing each depth with the optimizer's
+// cumulative cardinality estimate (the same chain planBGP walks).
+func (c *compiled) fallbackTraceSteps(ordered []sparql.TriplePattern, outer []string) ([]*tstep, float64) {
+	bound := map[string]bool{}
+	for _, v := range outer {
+		bound[v] = true
+	}
+	steps := make([]*tstep, len(ordered))
+	leftCard := 1.0
+	for i, p := range ordered {
+		op := "nl"
+		if i == 0 && len(outer) == 0 {
+			op = "scan"
+		}
+		leftCard *= max(1, c.estimate(p, bound))
+		steps[i] = &tstep{op: op, pattern: p.String(), est: leftCard}
+		addVars(bound, p)
+	}
+	return steps, leftCard
 }
 
 // placement returns the earliest step index after which every variable of

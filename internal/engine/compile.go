@@ -23,6 +23,9 @@ type compiled struct {
 	projSlots  []int
 	cancel     *canceller
 	notes      []string // optimizer decisions, for Explain
+	// trace is the EXPLAIN ANALYZE collector; nil unless the query runs
+	// under WithAnalyze (see trace.go).
+	trace *traceCollector
 	// cleanups release resources held by operators that outlive a single
 	// next() call — parallel BGP workers register their shutdown here.
 	// The evaluation entry points run them when the query ends, whether
@@ -33,6 +36,9 @@ type compiled struct {
 func (c *compiled) close() {
 	for _, f := range c.cleanups {
 		f()
+	}
+	if c.trace != nil {
+		c.trace.deliver()
 	}
 }
 
@@ -76,6 +82,9 @@ func (e *Engine) compile(ctx context.Context, q *sparql.Query) (*compiled, error
 		eng:    e,
 		slots:  map[string]int{},
 		cancel: &canceller{ctx: ctx},
+	}
+	if h := traceHandleFrom(ctx); h != nil {
+		c.trace = &traceCollector{handle: h}
 	}
 	collectPlanVars(plan, c)
 	root, err := c.build(plan, nil)
@@ -170,9 +179,19 @@ func collectPlanVars(n algebra.Node, c *compiled) {
 	}
 }
 
-// build compiles a plan node into a subplan. outer lists the variables
-// guaranteed bound by the surrounding context (used by the optimizer).
+// build compiles a plan node into a subplan, wrapping it in a trace
+// recorder when the query runs under WithAnalyze. outer lists the
+// variables guaranteed bound by the surrounding context (used by the
+// optimizer).
 func (c *compiled) build(n algebra.Node, outer []string) (subplan, error) {
+	sp, err := c.buildNode(n, outer)
+	if err != nil || c.trace == nil {
+		return sp, err
+	}
+	return c.trace.wrap(sp), nil
+}
+
+func (c *compiled) buildNode(n algebra.Node, outer []string) (subplan, error) {
 	switch node := n.(type) {
 	case *algebra.BGPNode:
 		return c.buildBGP(node.Patterns, nil, outer)

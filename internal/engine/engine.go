@@ -230,6 +230,24 @@ func (e *Engine) Count(ctx context.Context, q *sparql.Query) (int, error) {
 	}
 }
 
+// CountAnalyze runs Count with EXPLAIN ANALYZE tracing enabled and
+// returns the count together with the execution trace.
+func (e *Engine) CountAnalyze(ctx context.Context, q *sparql.Query) (int, *Trace, error) {
+	ctx, h := WithAnalyze(ctx)
+	n, err := e.Count(ctx, q)
+	return n, h.Trace(), err
+}
+
+// QueryAnalyze runs Query with EXPLAIN ANALYZE tracing enabled and
+// returns the result together with the execution trace. For forms that
+// evaluate a core SELECT internally (aggregates) the trace covers the
+// core pattern evaluation.
+func (e *Engine) QueryAnalyze(ctx context.Context, q *sparql.Query) (*Result, *Trace, error) {
+	ctx, h := WithAnalyze(ctx)
+	res, err := e.Query(ctx, q)
+	return res, h.Trace(), err
+}
+
 // Explain returns a description of the physical plan chosen for q,
 // including any BGP reordering — used by the ablation experiments and by
 // tests pinning optimizer behaviour.

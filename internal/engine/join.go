@@ -233,6 +233,12 @@ type bgpPlan struct {
 	// under the parallel executor.
 	parts  []store.IndexRange
 	shared *physShared
+	// tsteps are the per-depth EXPLAIN ANALYZE counters, aligned with
+	// steps and shared across parallel workers (nil unless the query
+	// runs under WithAnalyze); test is the cumulative cardinality
+	// estimate for the whole BGP.
+	tsteps []*tstep
+	test   float64
 }
 
 // physShared holds per-depth build products constructed once per query
@@ -298,6 +304,14 @@ func (c *compiled) planBGP(b *bgpIter, ordered []sparql.TriplePattern, outer []s
 	sortSlot := -1
 	interesting := false
 
+	// traceStep records one depth's EXPLAIN ANALYZE skeleton (operator,
+	// pattern, cumulative estimate); a no-op unless tracing is on.
+	traceStep := func(op string, pattern string, est float64) {
+		if c.trace != nil {
+			plan.tsteps = append(plan.tsteps, &tstep{op: op, pattern: pattern, est: est})
+		}
+	}
+
 	i := 0
 	for i < len(b.steps) {
 		step := b.steps[i]
@@ -308,6 +322,7 @@ func (c *compiled) planBGP(b *bgpIter, ordered []sparql.TriplePattern, outer []s
 			sortSlot = leadVarSlot(step, rng)
 			plan.steps = append(plan.steps, ps)
 			leftCard = max(1, c.estimate(p, bound))
+			traceStep(opScan.String(), p.String(), leftCard)
 			addVars(bound, p)
 			i++
 			continue
@@ -325,6 +340,7 @@ func (c *compiled) planBGP(b *bgpIter, ordered []sparql.TriplePattern, outer []s
 						addVars(bound, ordered[k])
 					}
 					leftCard *= max(1, segCard)
+					traceStep(opHashSeg.String(), segDesc(c, seg), leftCard)
 					i = j
 					continue
 				}
@@ -332,8 +348,12 @@ func (c *compiled) planBGP(b *bgpIter, ordered []sparql.TriplePattern, outer []s
 			for k := i; k < j; k++ {
 				plan.steps = append(plan.steps, physStep{kind: opNL, step: b.steps[k]})
 				addVars(bound, ordered[k])
+				traceStep(opNL.String(), ordered[k].String(), 0)
 			}
 			leftCard *= max(1, segCard)
+			if c.trace != nil {
+				plan.tsteps[len(plan.tsteps)-1].est = leftCard
+			}
 			i = j
 			continue
 		}
@@ -357,6 +377,7 @@ func (c *compiled) planBGP(b *bgpIter, ordered []sparql.TriplePattern, outer []s
 			plan.steps = append(plan.steps, physStep{kind: opNL, step: step})
 		}
 		leftCard *= max(1, est)
+		traceStep(plan.steps[len(plan.steps)-1].kind.String(), p.String(), leftCard)
 		addVars(bound, p)
 		i++
 	}
@@ -386,6 +407,7 @@ func (c *compiled) planBGP(b *bgpIter, ordered []sparql.TriplePattern, outer []s
 		}
 	}
 	plan.shared = newPhysShared(len(plan.steps))
+	plan.test = leftCard
 	c.notes = append(c.notes, plan.describe())
 	if len(plan.parts) > 1 {
 		pb := &parallelBGP{plan: plan}
@@ -393,6 +415,15 @@ func (c *compiled) planBGP(b *bgpIter, ordered []sparql.TriplePattern, outer []s
 		return pb
 	}
 	return &physIter{plan: plan, part: plan.parts[0], cancel: c.cancel}
+}
+
+// segDesc renders a disconnected block for the trace: its hash key (or
+// cross-product marker) and step count, matching describe()'s notation.
+func segDesc(c *compiled, seg *segPlan) string {
+	if seg.buildSlot >= 0 {
+		return fmt.Sprintf("key=?%s/?%s steps=%d", c.names[seg.probeSlot], c.names[seg.buildSlot], len(seg.steps))
+	}
+	return fmt.Sprintf("cross steps=%d", len(seg.steps))
 }
 
 // describe renders the operator choices for Explain.
@@ -735,6 +766,9 @@ func (b *physIter) next() ([]store.ID, bool, error) {
 		if !b.filtersPass(ps) {
 			continue
 		}
+		if ts := b.plan.tsteps; ts != nil {
+			ts[d].rows.Add(1)
+		}
 		if d == last {
 			b.depth = d
 			return b.cur, true, nil
@@ -937,6 +971,9 @@ func (b *physIter) buildHash(d int, ps *physStep) error {
 			}
 		}
 		b.plan.shared.hash[d] = table
+		if ts := b.plan.tsteps; ts != nil {
+			ts[d].build.Store(int64(n))
+		}
 		return nil
 	})
 }
@@ -954,6 +991,7 @@ func (b *physIter) buildSeg(d int, ps *physStep) error {
 		var rows [][]store.ID
 		table := map[string][][]store.ID{}
 		dict := b.plan.c.eng.src.TermDict()
+		built := 0
 		for {
 			row, ok, err := inner.next()
 			if err != nil {
@@ -963,6 +1001,7 @@ func (b *physIter) buildSeg(d int, ps *physStep) error {
 				break
 			}
 			cp := append([]store.ID(nil), row...)
+			built++
 			if ps.seg.buildSlot >= 0 {
 				k := segKey(dict.Term(cp[ps.seg.buildSlot]))
 				table[k] = append(table[k], cp)
@@ -972,6 +1011,9 @@ func (b *physIter) buildSeg(d int, ps *physStep) error {
 		}
 		b.plan.shared.seg[d] = table
 		b.plan.shared.rows[d] = rows
+		if ts := b.plan.tsteps; ts != nil {
+			ts[d].build.Store(int64(built))
+		}
 		return nil
 	})
 }

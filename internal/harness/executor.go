@@ -44,6 +44,16 @@ type explainer interface {
 	Explain(q queries.Query) (string, bool)
 }
 
+// analyzer is the optional Executor refinement for backends that can
+// run a query under EXPLAIN ANALYZE tracing. With Config.Analyze set,
+// runCell takes one extra traced run per cell — outside the measured
+// window, so tracing never contaminates the protocol's numbers — and
+// records the trace on the cell (QueryRun.Trace → runs[].trace in the
+// JSON report).
+type analyzer interface {
+	Analyze(ctx context.Context, q queries.Query) (int, *engine.Trace, error)
+}
+
 // engineExecutor evaluates queries on an in-process engine. Parsing
 // happens in Prepare (outside the measured window) and is cached, so
 // the measured runs of the protocol (paper: 3 per cell, plus every
@@ -95,6 +105,15 @@ func (e *engineExecutor) Execute(ctx context.Context, q queries.Query) (int, err
 		pq = e.parsed[q.ID]
 	}
 	return e.eng.Count(ctx, pq)
+}
+
+// Analyze runs q once with EXPLAIN ANALYZE tracing and returns the
+// count and the per-operator trace.
+func (e *engineExecutor) Analyze(ctx context.Context, q queries.Query) (int, *engine.Trace, error) {
+	if err := e.Prepare(q); err != nil {
+		return 0, nil, err
+	}
+	return e.eng.CountAnalyze(ctx, e.parsed[q.ID])
 }
 
 // endpointExecutor submits queries to a remote SPARQL endpoint through

@@ -231,7 +231,10 @@ type QueryRun struct {
 	// BGP reorderings and per-step operator choices), captured once per
 	// cell so reports explain the numbers they carry.
 	Plan string
-	Err  string
+	// Trace is the EXPLAIN ANALYZE operator trace, captured on one extra
+	// unmeasured run per cell when Config.Analyze is set.
+	Trace *engine.Trace
+	Err   string
 }
 
 // LoadStats records document loading (Section VI metric 2).
@@ -266,6 +269,9 @@ type Config struct {
 	// ChargeLoadToMem adds document parse time to every in-memory-engine
 	// query, mirroring engines that load the file per query.
 	ChargeLoadToMem bool
+	// Analyze captures an EXPLAIN ANALYZE trace per cell on one extra
+	// run outside the measured window (engine backends only).
+	Analyze bool
 	// Clients is the number of concurrent workers driving the query mix
 	// against one shared frozen store per (engine, scale) — real SPARQL
 	// endpoints serve mixed parallel workloads, not one query at a time.
@@ -746,6 +752,17 @@ func (r *Runner) runCell(ex Executor, sc Scale, q queries.Query, parseTime time.
 	if exp, ok := ex.(explainer); ok {
 		if plan, ok := exp.Explain(q); ok {
 			agg.Plan = plan
+		}
+	}
+	if r.cfg.Analyze {
+		if an, ok := ex.(analyzer); ok {
+			// The traced run is extra and unmeasured: tracing overhead,
+			// however small, never enters the protocol's numbers.
+			ctx, cancel := context.WithTimeout(context.Background(), r.cfg.Timeout)
+			if _, tr, err := an.Analyze(ctx, q); err == nil {
+				agg.Trace = tr
+			}
+			cancel()
 		}
 	}
 	var totalWall, totalUser, totalSys time.Duration

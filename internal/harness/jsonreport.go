@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"sp2bench/internal/engine"
 	"sp2bench/internal/store"
 	"sp2bench/internal/workload"
 )
@@ -44,6 +45,9 @@ type JSONReport struct {
 	// QueryMeans aggregate each query across scales per engine — the
 	// per-query unit the baseline gate compares.
 	QueryMeans []QueryMeanInfo `json:"query_means,omitempty"`
+	// Cardinality aggregates optimizer estimate quality per engine over
+	// every traced cell (Config.Analyze runs).
+	Cardinality []CardinalityInfo `json:"cardinality,omitempty"`
 	// Concurrency summarizes closed-loop concurrent sweep drives.
 	Concurrency []MixInfo `json:"concurrency,omitempty"`
 	// Workloads holds scenario-engine results (mixes, open loop, time
@@ -116,7 +120,14 @@ type RunInfo struct {
 	// Plan records the backend's physical plan (BGP reordering and the
 	// operator chosen per join step) so a report explains its numbers.
 	Plan string `json:"plan,omitempty"`
-	Err  string `json:"err,omitempty"`
+	// Trace is the EXPLAIN ANALYZE operator trace (Config.Analyze runs):
+	// per-operator actual rows, wall time and planner estimates. The
+	// cardinality-error ratios summarize it: max and geometric mean of
+	// max(est/actual, actual/est) over estimated plan steps.
+	Trace        *engine.Trace `json:"trace,omitempty"`
+	MaxCardError float64       `json:"max_cardinality_error,omitempty"`
+	GeoCardError float64       `json:"geomean_cardinality_error,omitempty"`
+	Err          string        `json:"err,omitempty"`
 }
 
 // MeansInfo is one (engine, scale) global-performance row.
@@ -141,6 +152,17 @@ type QueryMeanInfo struct {
 	Failures   int     `json:"failures"`
 	Arithmetic float64 `json:"arithmetic_seconds"`
 	Geometric  float64 `json:"geometric_seconds"`
+}
+
+// CardinalityInfo aggregates the optimizer's est-vs-actual cardinality
+// error across the traced cells of one engine: the worst per-cell max
+// ratio, and the geometric mean of the per-cell geometric means. A
+// ratio of 1 is a perfect estimate.
+type CardinalityInfo struct {
+	Engine  string  `json:"engine"`
+	Cells   int     `json:"cells"`
+	Max     float64 `json:"max_ratio"`
+	GeoMean float64 `json:"geomean_ratio"`
 }
 
 // MixInfo is one concurrent-sweep summary row.
@@ -215,14 +237,48 @@ func (rep *Report) JSONReport() *JSONReport {
 			Triples: l.Triples, Source: l.Source,
 		})
 	}
+	type cardAcc struct {
+		max  float64
+		logs []float64
+	}
+	cards := map[string]*cardAcc{}
+	var cardOrder []string
 	for _, run := range rep.Runs {
-		out.Runs = append(out.Runs, RunInfo{
+		ri := RunInfo{
 			Query: run.Query, Engine: run.Engine, Scale: run.Scale,
 			Outcome:     run.Outcome.String(),
 			WallSeconds: run.Wall.Seconds(),
 			UserSeconds: run.User.Seconds(), SysSeconds: run.Sys.Seconds(),
 			Results: run.Results, MemPeak: run.MemPeak, Client: run.Client,
-			Plan: run.Plan, Err: run.Err,
+			Plan: run.Plan, Trace: run.Trace, Err: run.Err,
+		}
+		if run.Trace != nil {
+			ri.MaxCardError, ri.GeoCardError = run.Trace.CardinalityError()
+			if ri.GeoCardError > 0 {
+				a, ok := cards[run.Engine]
+				if !ok {
+					a = &cardAcc{}
+					cards[run.Engine] = a
+					cardOrder = append(cardOrder, run.Engine)
+				}
+				if ri.MaxCardError > a.max {
+					a.max = ri.MaxCardError
+				}
+				a.logs = append(a.logs, math.Log(ri.GeoCardError))
+			}
+		}
+		out.Runs = append(out.Runs, ri)
+	}
+	sort.Strings(cardOrder)
+	for _, eng := range cardOrder {
+		a := cards[eng]
+		sum := 0.0
+		for _, l := range a.logs {
+			sum += l
+		}
+		out.Cardinality = append(out.Cardinality, CardinalityInfo{
+			Engine: eng, Cells: len(a.logs),
+			Max: a.max, GeoMean: math.Exp(sum / float64(len(a.logs))),
 		})
 	}
 	for _, m := range rep.GlobalMeans() {

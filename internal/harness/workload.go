@@ -152,9 +152,10 @@ func (r *Runner) scenario(mix queries.Mix) workload.Scenario {
 }
 
 func (r *Runner) progressWorkload(res *workload.Result) {
-	r.progressf("%-7s %-16s %-13s %-10s ops=%d fail=%d %0.1f ops/s p50=%v p95=%v p99=%v\n",
+	r.progressf("%-7s %-16s %-13s %-10s ops=%d fail=%d %0.1f ops/s p50=%v p95=%v p99=%v p999=%v\n",
 		res.Scale, res.Target, res.Mix, res.Mode, res.Ops, res.Failures, res.Throughput,
-		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond),
+		res.P999.Round(time.Microsecond))
 }
 
 // RenderWorkloads writes the scenario results: one summary row per
@@ -164,26 +165,28 @@ func (rep *Report) RenderWorkloads(w io.Writer) {
 		return
 	}
 	fmt.Fprintln(w, "Workload scenarios")
-	fmt.Fprintf(w, "%-7s %-16s %-13s %-11s %7s %8s %6s %5s %9s %12s %12s %12s\n",
-		"scale", "target", "mix", "mode", "clients", "rate", "ops", "fail", "ops/s", "p50", "p95", "p99")
+	fmt.Fprintf(w, "%-7s %-16s %-13s %-11s %7s %8s %6s %5s %9s %12s %12s %12s %12s\n",
+		"scale", "target", "mix", "mode", "clients", "rate", "ops", "fail", "ops/s", "p50", "p95", "p99", "p999")
 	for _, res := range rep.Workloads {
 		rate := "-"
 		if res.TargetRate > 0 {
 			rate = fmt.Sprintf("%.0f/%.0f", res.OfferedRate, res.TargetRate)
 		}
-		fmt.Fprintf(w, "%-7s %-16s %-13s %-11s %7d %8s %6d %5d %9.1f %12v %12v %12v\n",
+		fmt.Fprintf(w, "%-7s %-16s %-13s %-11s %7d %8s %6d %5d %9.1f %12v %12v %12v %12v\n",
 			res.Scale, res.Target, res.Mix, res.Mode, res.Clients, rate,
 			res.Ops, res.Failures, res.Throughput,
-			res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond))
+			res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond), res.P99.Round(time.Microsecond),
+			res.P999.Round(time.Microsecond))
 	}
 	for _, res := range rep.Workloads {
 		fmt.Fprintf(w, "\nPer-operation stats: %s mix on %s/%s\n", res.Mix, res.Target, res.Scale)
-		fmt.Fprintf(w, "%-8s %7s %5s %12s %12s %12s %12s %12s\n",
-			"op", "count", "fail", "mean", "geomean", "p50", "p95", "p99")
+		fmt.Fprintf(w, "%-8s %7s %5s %12s %12s %12s %12s %12s %12s\n",
+			"op", "count", "fail", "mean", "geomean", "p50", "p95", "p99", "p999")
 		for _, qs := range res.PerQuery {
-			fmt.Fprintf(w, "%-8s %7d %5d %12.6f %12.6f %12v %12v %12v\n",
+			fmt.Fprintf(w, "%-8s %7d %5d %12.6f %12.6f %12v %12v %12v %12v\n",
 				qs.ID, qs.Count, qs.Failures, qs.MeanSeconds, qs.GeoMeanSeconds,
-				qs.P50.Round(time.Microsecond), qs.P95.Round(time.Microsecond), qs.P99.Round(time.Microsecond))
+				qs.P50.Round(time.Microsecond), qs.P95.Round(time.Microsecond), qs.P99.Round(time.Microsecond),
+				qs.P999.Round(time.Microsecond))
 		}
 		if res.Dropped > 0 {
 			fmt.Fprintf(w, "dropped %d arrivals on queue overflow (backend saturated)\n", res.Dropped)

@@ -1,0 +1,32 @@
+package mvcc
+
+import "sp2bench/internal/obs"
+
+// MVCC metrics, registered in the process-wide registry. Gauges reflect
+// the most recently published version: a process normally serves one
+// MVCC store (sp2bserve), so instance labels would only add noise.
+var (
+	mGeneration = obs.Default.Gauge("sp2b_mvcc_generation",
+		"Base generation number of the current version (starts at 1; each merge increments it).")
+	mBaseTriples = obs.Default.Gauge("sp2b_mvcc_base_triples",
+		"Triples in the frozen base generation of the current version.")
+	mDeltaTriples = obs.Default.Gauge("sp2b_mvcc_delta_triples",
+		"Uncompacted triples in the delta index of the current version.")
+	mActiveSnapshots = obs.Default.Gauge("sp2b_mvcc_active_snapshots",
+		"Snapshots currently open across all pinned versions.")
+	mMerges = obs.Default.Counter("sp2b_mvcc_merges_total",
+		"Completed generation merges (background and manual).")
+	mMergeSeconds = obs.Default.Histogram("sp2b_mvcc_merge_seconds",
+		"Wall time of generation merges, compaction through install.", obs.DefLatencyBuckets)
+	mCommits = obs.Default.Counter("sp2b_mvcc_commits_total",
+		"Committed insert batches (batches that published a new version).")
+	mCommitBatch = obs.Default.Histogram("sp2b_mvcc_commit_batch_triples",
+		"Triples actually inserted per committed batch, after set deduplication.", obs.SizeBuckets)
+)
+
+// publishGauges refreshes the version-shaped gauges from v.
+func publishGauges(v *version) {
+	mGeneration.Set(int64(v.gen))
+	mBaseTriples.Set(int64(v.base.Len()))
+	mDeltaTriples.Set(int64(v.delta.size()))
+}

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"sp2bench/internal/rdf"
 	"sp2bench/internal/store"
@@ -108,11 +109,13 @@ type Store struct {
 func New(base *store.Store, policy MergePolicy) *Store {
 	base.Freeze()
 	s := &Store{policy: policy}
-	s.cur.Store(&version{
+	v := &version{
 		gen:   1,
 		base:  base,
 		delta: &deltaIndex{predCount: map[store.ID]int{}},
-	})
+	}
+	s.cur.Store(v)
+	publishGauges(v)
 	return s
 }
 
@@ -201,6 +204,9 @@ func (s *Store) Apply(batch []rdf.Triple) int {
 	}
 	s.cur.Store(next)
 	s.mu.Unlock()
+	publishGauges(next)
+	mCommits.Inc()
+	mCommitBatch.Observe(float64(len(kept)))
 
 	s.maybeMerge(next)
 	return len(kept)
@@ -256,6 +262,7 @@ func (s *Store) merge() {
 	if v.delta.size() == 0 {
 		return
 	}
+	start := time.Now()
 
 	// Flatten the layered dictionary: base vocabulary + the extension
 	// as of the captured version. IDs are global and never renumbered,
@@ -291,6 +298,9 @@ func (s *Store) merge() {
 	s.cur.Store(next)
 	s.mu.Unlock()
 	s.merges.Add(1)
+	publishGauges(next)
+	mMerges.Inc()
+	mMergeSeconds.Observe(time.Since(start).Seconds())
 
 	if s.Logf != nil {
 		s.Logf("mvcc: merged generation %d: %d triples (+%d carried in delta)",

@@ -38,6 +38,7 @@ func (s *Store) Snapshot() *Snapshot {
 	v := s.cur.Load()
 	v.refs.Add(1)
 	s.active.Add(1)
+	mActiveSnapshots.Inc()
 	return &Snapshot{
 		s: s,
 		v: v,
@@ -56,6 +57,7 @@ func (sn *Snapshot) Close() {
 	sn.closeOnce.Do(func() {
 		sn.v.refs.Add(-1)
 		sn.s.active.Add(-1)
+		mActiveSnapshots.Dec()
 	})
 }
 

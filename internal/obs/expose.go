@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4): a # HELP and # TYPE header per
+// family, one sample line per child (histograms expand to cumulative
+// _bucket series plus _sum and _count). Families appear in
+// registration order, children sorted by label values.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.RLock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+	for _, f := range fams {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+		for _, ch := range f.sortedChildren() {
+			switch f.kind {
+			case KindCounter:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, ch.values, ""), ch.c.Value())
+			case KindGauge:
+				fmt.Fprintf(w, "%s%s %d\n", f.name, labelString(f.labels, ch.values, ""), ch.g.Value())
+			case KindHistogram:
+				cum, count, sum := ch.h.snapshot()
+				for i, b := range f.buckets {
+					fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+						labelString(f.labels, ch.values, formatFloat(b)), cum[i])
+				}
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name,
+					labelString(f.labels, ch.values, "+Inf"), cum[len(cum)-1])
+				fmt.Fprintf(w, "%s_sum%s %s\n", f.name,
+					labelString(f.labels, ch.values, ""), formatFloat(sum))
+				fmt.Fprintf(w, "%s_count%s %d\n", f.name,
+					labelString(f.labels, ch.values, ""), count)
+			}
+		}
+	}
+}
+
+// labelString renders {k="v",...}; le, when non-empty, is appended as
+// the histogram bucket bound label. Empty label sets render as "".
+func labelString(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(`le="`)
+		b.WriteString(le)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text format — mount it at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// Handler serves the default registry — the usual /metrics mount.
+func Handler() http.Handler { return Default.Handler() }
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the default registry under the "sp2bench"
+// expvar variable (a map of name{labels} to value; histograms export
+// count and sum). Safe to call more than once; only the first call
+// publishes, matching expvar's no-duplicates rule.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("sp2bench", expvar.Func(func() any { return Default.snapshotMap() }))
+	})
+}
+
+// snapshotMap flattens the registry for expvar: "name{labels}" keys to
+// numeric values (histograms contribute _count and _sum entries).
+func (r *Registry) snapshotMap() map[string]any {
+	out := map[string]any{}
+	r.mu.RLock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.RUnlock()
+	for _, f := range fams {
+		for _, ch := range f.sortedChildren() {
+			key := f.name + labelString(f.labels, ch.values, "")
+			switch f.kind {
+			case KindCounter:
+				out[key] = ch.c.Value()
+			case KindGauge:
+				out[key] = ch.g.Value()
+			case KindHistogram:
+				out[key+"_count"] = ch.h.Count()
+				out[key+"_sum"] = ch.h.Sum()
+			}
+		}
+	}
+	return out
+}

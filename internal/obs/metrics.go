@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// DefLatencyBuckets are the default histogram bounds, in seconds:
+// 100µs to 10s in a coarse log scale, sized for query latencies from
+// dictionary lookups to the paper's long-running joins.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets are histogram bounds for counts (batch sizes, row
+// counts): powers of ten from 1 to 1e7.
+var SizeBuckets = []float64{1, 10, 100, 1000, 1e4, 1e5, 1e6, 1e7}
+
+// Counter is a monotonically increasing counter. All methods are
+// atomic and safe for concurrent use.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. All methods are atomic and
+// safe for concurrent use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds d (which may be negative).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Observe is one atomic add per
+// sample into the bucket the sample falls in (bounds are cumulated at
+// exposition time, not observation time) plus a CAS loop folding the
+// sample into the float64 sum — no locks anywhere on the hot path.
+type Histogram struct {
+	bounds []float64       // ascending upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v; latency distributions
+	// cluster low, but the bucket list is short enough that the branch-
+	// free search beats a linear scan only marginally — clarity wins.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot returns cumulative bucket counts (aligned with bounds, plus
+// the +Inf total), total count and sum. Concurrent Observe calls may
+// land between the loads; each bucket value is itself consistent and
+// the exposition tolerates the skew, as Prometheus scrapes do.
+func (h *Histogram) snapshot() (cum []uint64, count uint64, sum float64) {
+	cum = make([]uint64, len(h.counts))
+	var run uint64
+	for i := range h.counts {
+		run += h.counts[i].Load()
+		cum[i] = run
+	}
+	return cum, h.count.Load(), h.Sum()
+}

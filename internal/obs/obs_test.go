@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusGolden locks down the text exposition format: HELP and
+// TYPE headers, label rendering and escaping, cumulative histogram
+// buckets with _sum and _count, deterministic ordering.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("http_requests_total", "Requests served.", "route", "code")
+	c.With("/sparql", "200").Add(3)
+	c.With("/sparql", "503").Inc()
+	c.With("/stats", "200").Add(7)
+	g := r.Gauge("inflight_requests", "Requests currently executing.")
+	g.Set(2)
+	h := r.HistogramVec("request_seconds", "Request latency.", []float64{0.01, 0.1, 1}, "route")
+	h.With("/sparql").Observe(0.005)
+	h.With("/sparql").Observe(0.05)
+	h.With("/sparql").Observe(0.05)
+	h.With("/sparql").Observe(5)
+	r.CounterVec("odd_labels_total", "Escaping check.", "q").With("a\"b\\c\nd").Inc()
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	want := `# HELP http_requests_total Requests served.
+# TYPE http_requests_total counter
+http_requests_total{route="/sparql",code="200"} 3
+http_requests_total{route="/sparql",code="503"} 1
+http_requests_total{route="/stats",code="200"} 7
+# HELP inflight_requests Requests currently executing.
+# TYPE inflight_requests gauge
+inflight_requests 2
+# HELP request_seconds Request latency.
+# TYPE request_seconds histogram
+request_seconds_bucket{route="/sparql",le="0.01"} 1
+request_seconds_bucket{route="/sparql",le="0.1"} 3
+request_seconds_bucket{route="/sparql",le="1"} 3
+request_seconds_bucket{route="/sparql",le="+Inf"} 4
+request_seconds_sum{route="/sparql"} 5.105
+request_seconds_count{route="/sparql"} 4
+# HELP odd_labels_total Escaping check.
+# TYPE odd_labels_total counter
+odd_labels_total{q="a\"b\\c\nd"} 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestConcurrentMetrics hammers one counter, gauge and histogram from
+// GOMAXPROCS goroutines (run under -race in CI) and checks the totals.
+func TestConcurrentMetrics(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("ops_total", "ops", "kind")
+	g := r.Gauge("busy", "busy")
+	h := r.Histogram("lat_seconds", "lat", nil)
+
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Half the workers resolve the child each iteration, half
+			// cache the handle — both paths must be race-free.
+			cached := cv.With("a")
+			for i := 0; i < perWorker; i++ {
+				if w%2 == 0 {
+					cv.With("a").Inc()
+				} else {
+					cached.Inc()
+				}
+				g.Inc()
+				g.Dec()
+				h.Observe(float64(i%100) / 1000.0)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := cv.With("a").Value(), uint64(workers*perWorker); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+	if got, want := h.Count(), uint64(workers*perWorker); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	cum, count, _ := h.snapshot()
+	if cum[len(cum)-1] != count {
+		t.Errorf("cumulative bucket total %d != count %d", cum[len(cum)-1], count)
+	}
+}
+
+// TestHistogramBuckets checks boundary placement: a sample exactly on a
+// bound counts into that bound's bucket (le is inclusive).
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4, 100} {
+		h.Observe(v)
+	}
+	cum, count, sum := h.snapshot()
+	if want := []uint64{2, 4, 5, 6}; len(cum) != len(want) {
+		t.Fatalf("cum len = %d", len(cum))
+	} else {
+		for i := range want {
+			if cum[i] != want[i] {
+				t.Errorf("cum[%d] = %d, want %d", i, cum[i], want[i])
+			}
+		}
+	}
+	if count != 6 || sum != 109 {
+		t.Errorf("count=%d sum=%v, want 6, 109", count, sum)
+	}
+}
+
+// TestReregister checks idempotent registration and the kind-conflict
+// panic.
+func TestReregister(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "x")
+	b := r.Counter("x_total", "x")
+	if a != b {
+		t.Error("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("conflicting re-registration did not panic")
+		}
+	}()
+	r.Gauge("x_total", "x")
+}

@@ -1,0 +1,222 @@
+// Package obs is the dependency-free observability core: a metrics
+// registry of atomic counters, gauges and fixed-bucket histograms with
+// label support, exposed in Prometheus text format and via expvar.
+//
+// The design deliberately mirrors the subset of the Prometheus client
+// library the repository needs — families registered once with a name,
+// help string and label names; children materialized lazily per label
+// value combination — without taking the dependency. All metric
+// operations are lock-free atomics on the hot path: looking up a child
+// takes a read lock only on first use per call site when the caller
+// caches the returned handle (the intended pattern), and Observe/Add/
+// Inc/Set never lock at all. The registry itself is safe for concurrent
+// registration, lookup and exposition.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates the metric families a registry holds.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Registry holds metric families. The zero value is not usable; call
+// NewRegistry (or use Default).
+type Registry struct {
+	mu       sync.RWMutex
+	families []*family // registration order
+	byName   map[string]*family
+}
+
+// Default is the process-wide registry package-level instrumentation
+// registers into; sp2bserve exposes it at /metrics.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*family{}}
+}
+
+// family is one named metric with a fixed label-name schema and lazily
+// created children per label-value combination.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histogram upper bounds, ascending
+
+	mu       sync.RWMutex
+	children map[string]*child
+}
+
+type child struct {
+	values []string
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// register adds (or returns the existing) family. Re-registering with a
+// different kind or label schema panics: that is a programming error on
+// the order of redefining a type, not a runtime condition.
+func (r *Registry) register(name, help string, kind Kind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || !equalStrings(f.labels, labels) {
+			panic(fmt.Sprintf("obs: metric %q re-registered with different kind or labels", name))
+		}
+		return f
+	}
+	f := &family{
+		name:     name,
+		help:     help,
+		kind:     kind,
+		labels:   append([]string(nil), labels...),
+		buckets:  append([]float64(nil), buckets...),
+		children: map[string]*child{},
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// lookup returns the child for the given label values, creating it on
+// first use. The value count must match the family's label schema.
+func (f *family) lookup(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.RLock()
+	ch, ok := f.children[key]
+	f.mu.RUnlock()
+	if ok {
+		return ch
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if ch, ok := f.children[key]; ok {
+		return ch
+	}
+	ch = &child{values: append([]string(nil), values...)}
+	switch f.kind {
+	case KindCounter:
+		ch.c = &Counter{}
+	case KindGauge:
+		ch.g = &Gauge{}
+	case KindHistogram:
+		ch.h = newHistogram(f.buckets)
+	}
+	f.children[key] = ch
+	return ch
+}
+
+// sortedChildren returns the family's children ordered by label values,
+// for deterministic exposition.
+func (f *family) sortedChildren() []*child {
+	f.mu.RLock()
+	out := make([]*child, 0, len(f.children))
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, f.children[k])
+	}
+	f.mu.RUnlock()
+	return out
+}
+
+// Counter registers (or fetches) an unlabelled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, KindCounter, nil, nil).lookup(nil).c
+}
+
+// Gauge registers (or fetches) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, KindGauge, nil, nil).lookup(nil).g
+}
+
+// Histogram registers (or fetches) an unlabelled histogram. Nil or
+// empty buckets pick DefLatencyBuckets.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	return r.register(name, help, KindHistogram, nil, buckets).lookup(nil).h
+}
+
+// CounterVec registers a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.register(name, help, KindCounter, labels, nil)}
+}
+
+// GaugeVec registers a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, KindGauge, labels, nil)}
+}
+
+// HistogramVec registers a labelled histogram family. Nil or empty
+// buckets pick DefLatencyBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	if len(buckets) == 0 {
+		buckets = DefLatencyBuckets
+	}
+	return &HistogramVec{r.register(name, help, KindHistogram, labels, buckets)}
+}
+
+// CounterVec is a labelled counter family; With returns the child for
+// one label-value combination. Callers should cache the handle.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.lookup(values).c }
+
+// GaugeVec is a labelled gauge family.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.lookup(values).g }
+
+// HistogramVec is a labelled histogram family.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.lookup(values).h }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net/http"
 	"sort"
@@ -59,6 +60,10 @@ type Config struct {
 	MaxConcurrent int
 	// Logf, when non-nil, receives one line per completed request.
 	Logf func(format string, args ...any)
+	// Logger, when non-nil, additionally receives one structured record
+	// per completed request: route, status, duration, query fingerprint
+	// and the snapshot generation served (mutable deployments).
+	Logger *slog.Logger
 }
 
 // Server is the http.Handler implementing the protocol's query
@@ -138,33 +143,66 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
+// reqMeta carries per-request observability facts from serve back to
+// ServeHTTP's logging and metrics.
+type reqMeta struct {
+	fingerprint string
+	generation  uint64
+}
+
 // ServeHTTP handles one protocol query request.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	status, detail := s.serve(w, r)
-	s.logf("%s %s %d %v %s", r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond), detail)
+	meta := &reqMeta{}
+	status, detail := s.serve(w, r, meta)
+	dur := time.Since(start)
+
+	route := r.URL.Path
+	reqTotal.With(route, strconv.Itoa(status)).Inc()
+	reqLatency.With(route).Observe(dur.Seconds())
+	if status >= 400 {
+		reqFaults.With(strconv.Itoa(status)).Inc()
+	}
+	s.logf("%s %s %d %v %s", r.Method, route, status, dur.Round(time.Microsecond), detail)
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.Int("status", status),
+			slog.Duration("duration", dur),
+			slog.String("query", meta.fingerprint),
+			slog.Uint64("generation", meta.generation),
+			slog.String("detail", detail),
+		)
+	}
 }
 
 // serve runs the request and returns (status, log detail). Error
 // statuses are written by httpError; success statuses by the result
 // writer.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request) (int, string) {
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, meta *reqMeta) (int, string) {
 	text, status, err := queryText(r)
 	if err != nil {
 		return httpError(w, status, err)
 	}
+	meta.fingerprint = fingerprint(text)
 
 	// The concurrency limiter queues rather than rejects: a benchmark
 	// driving more clients than the cap should see latency, not errors.
 	// A request whose context ends while queued answers 503.
 	if s.sem != nil {
+		reqQueued.Inc()
 		select {
 		case s.sem <- struct{}{}:
+			reqQueued.Dec()
 			defer func() { <-s.sem }()
 		case <-r.Context().Done():
+			reqQueued.Dec()
 			return httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server at capacity"))
 		}
 	}
+	reqInflight.Inc()
+	defer reqInflight.Dec()
 
 	q, err := sparql.Parse(text, rdf.Prefixes)
 	if err != nil {
@@ -189,9 +227,19 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) (int, string) {
 	if s.cfg.Live != nil {
 		sn := s.cfg.Live.Snapshot()
 		defer sn.Close()
+		meta.generation = sn.Generation()
 		eng = engine.NewReader(sn, s.cfg.Opts)
 	}
-	res, graph, err := eng.Eval(ctx, q)
+
+	// EXPLAIN ANALYZE: ?analyze=1 runs the query under a trace collector
+	// and answers with a JSON trace block instead of the result set.
+	analyze := r.URL.Query().Get("analyze") != ""
+	var th *engine.TraceHandle
+	ectx := ctx
+	if analyze {
+		ectx, th = engine.WithAnalyze(ctx)
+	}
+	res, graph, err := eng.Eval(ectx, q)
 	switch {
 	case err == nil:
 	case errors.Is(err, engine.ErrCancelled) || ctx.Err() != nil:
@@ -200,6 +248,14 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) (int, string) {
 		// The protocol's QueryRequestRefused fault: the query was
 		// well-formed but evaluation failed.
 		return httpError(w, http.StatusInternalServerError, err)
+	}
+
+	if analyze {
+		rows := len(graph)
+		if res != nil {
+			rows = res.Len()
+		}
+		return writeAnalyze(w, rows, th.Trace())
 	}
 
 	accept := r.Header.Get("Accept")
@@ -228,6 +284,28 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request) (int, string) {
 		return http.StatusOK, "write: " + err.Error()
 	}
 	return http.StatusOK, fmt.Sprintf("%s %d solutions as %s", q.Form, out.Len(), format)
+}
+
+// writeAnalyze answers an ?analyze=1 request: a JSON document with the
+// solution count, wall time, est-vs-actual cardinality error and the
+// full operator trace.
+func writeAnalyze(w http.ResponseWriter, rows int, tr *engine.Trace) (int, string) {
+	doc := struct {
+		Rows         int           `json:"rows"`
+		WallNS       int64         `json:"wall_ns"`
+		MaxCardError float64       `json:"max_cardinality_error,omitempty"`
+		GeoCardError float64       `json:"geomean_cardinality_error,omitempty"`
+		Trace        *engine.Trace `json:"trace"`
+	}{Rows: rows, Trace: tr}
+	if tr != nil {
+		doc.WallNS = tr.WallNS
+		doc.MaxCardError, doc.GeoCardError = tr.CardinalityError()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(doc); err != nil {
+		return http.StatusOK, "write: " + err.Error()
+	}
+	return http.StatusOK, fmt.Sprintf("analyze %d solutions", rows)
 }
 
 // queryText extracts the query string per the three protocol bindings.

@@ -329,3 +329,35 @@ func TestStatsHandler(t *testing.T) {
 		t.Fatalf("stats = %+v", got)
 	}
 }
+
+func TestAnalyzeParameter(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "?analyze=1&query=" + url.QueryEscape(selectTitles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var doc struct {
+		Rows   int           `json:"rows"`
+		WallNS int64         `json:"wall_ns"`
+		Trace  *engine.Trace `json:"trace"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Rows != 2 {
+		t.Fatalf("rows = %d, want 2", doc.Rows)
+	}
+	if doc.Trace == nil || doc.Trace.Root == nil {
+		t.Fatal("no trace in analyze response")
+	}
+	if doc.Trace.Rows != 2 {
+		t.Fatalf("trace root rows = %d, want 2", doc.Trace.Rows)
+	}
+}

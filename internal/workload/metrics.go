@@ -1,0 +1,24 @@
+package workload
+
+import "sp2bench/internal/obs"
+
+// Driver metrics, registered in the process-wide registry. Workload
+// drives are bursty, so the counters are most useful scraped during a
+// long open-loop run (sp2bbench -experiment workload against a live
+// endpoint, or any embedder of workload.Run).
+var (
+	wOps = obs.Default.CounterVec("sp2b_workload_ops_total",
+		"Workload operations executed, by operation ID and outcome (ok/fail).", "op", "outcome")
+	wDropped = obs.Default.Counter("sp2b_workload_dropped_total",
+		"Open-loop arrivals dropped on queue overflow (saturation signal).")
+	wQueueWait = obs.Default.Histogram("sp2b_workload_queue_wait_seconds",
+		"Open-loop queueing delay: scheduled arrival to dispatch.", obs.DefLatencyBuckets)
+)
+
+func recordOp(res opResult) {
+	outcome := "ok"
+	if !res.ok {
+		outcome = "fail"
+	}
+	wOps.With(res.id, outcome).Inc()
+}

@@ -61,6 +61,7 @@ func runOpenLoop(ctx context.Context, factory TargetFactory, probe Target, sc Sc
 				if wait < 0 {
 					wait = 0
 				}
+				wQueueWait.Observe(wait.Seconds())
 				res := execute(ctx, t, a.o, sc.Timeout)
 				res.wait = wait
 				res.wall = time.Since(a.at) // queueing + service
@@ -92,6 +93,7 @@ func runOpenLoop(ctx context.Context, factory TargetFactory, probe Target, sc Sc
 		select {
 		case queue <- arrival{at: next, o: smp.next()}:
 		default:
+			wDropped.Inc()
 			if inWindow {
 				dropped++
 			}

@@ -41,6 +41,7 @@ type Result struct {
 	P50     time.Duration `json:"p50_ns"`
 	P95     time.Duration `json:"p95_ns"`
 	P99     time.Duration `json:"p99_ns"`
+	P999    time.Duration `json:"p999_ns"`
 	WaitP99 time.Duration `json:"wait_p99_ns,omitempty"`
 	// PerQuery holds one entry per operation type that ran, in mix
 	// order, updates (UpdateID) last.
@@ -63,6 +64,7 @@ type QueryStats struct {
 	P50            time.Duration `json:"p50_ns"`
 	P95            time.Duration `json:"p95_ns"`
 	P99            time.Duration `json:"p99_ns"`
+	P999           time.Duration `json:"p999_ns"`
 }
 
 // Bucket is one slot of the throughput time series.
@@ -74,8 +76,12 @@ type Bucket struct {
 	// bucket; Failures the rest.
 	Completions int `json:"completions"`
 	Failures    int `json:"failures"`
-	// P95 is the tail latency of the bucket's successful operations.
+	// P50/P95/P99 are latency percentiles of the bucket's successful
+	// operations — the resolution at which latency regressions during a
+	// drive (a merge landing, a queue building) become visible.
+	P50 time.Duration `json:"p50_ns"`
 	P95 time.Duration `json:"p95_ns"`
+	P99 time.Duration `json:"p99_ns"`
 }
 
 // Percentile reads the p-quantile from an ascending slice using the
@@ -172,13 +178,15 @@ func summarize(target string, sc Scenario, raw []opResult, offered, dropped int)
 	sortDurations(all)
 	sortDurations(waits)
 	res.P50, res.P95, res.P99 = Percentile(all, 0.50), Percentile(all, 0.95), Percentile(all, 0.99)
+	res.P999 = Percentile(all, 0.999)
 	if res.Mode == "open-loop" {
 		res.WaitP99 = Percentile(waits, 0.99)
 	}
 	res.Throughput = float64(len(all)) / sc.Duration.Seconds()
 	for i, lat := range bucketLat {
 		sortDurations(lat)
-		res.Series[i].P95 = Percentile(lat, 0.95)
+		b := &res.Series[i]
+		b.P50, b.P95, b.P99 = Percentile(lat, 0.50), Percentile(lat, 0.95), Percentile(lat, 0.99)
 	}
 
 	// Per-query stats in mix order, updates last.
@@ -208,6 +216,7 @@ func summarize(target string, sc Scenario, raw []opResult, offered, dropped int)
 			qs.GeoMeanSeconds = GeoMean(secs)
 			sortDurations(lat)
 			qs.P50, qs.P95, qs.P99 = Percentile(lat, 0.50), Percentile(lat, 0.95), Percentile(lat, 0.99)
+			qs.P999 = Percentile(lat, 0.999)
 		} else {
 			qs.MeanSeconds = 0
 		}

@@ -248,5 +248,7 @@ func execute(ctx context.Context, t Target, o op, timeout time.Duration) opResul
 	} else {
 		_, err = t.Execute(opCtx, o.query)
 	}
-	return opResult{id: o.id(), wall: time.Since(start), ok: err == nil}
+	res := opResult{id: o.id(), wall: time.Since(start), ok: err == nil}
+	recordOp(res)
+	return res
 }
