@@ -77,7 +77,7 @@ func main() {
 		clients    = flag.Int("clients", 1, "concurrent clients driving the query mix (1 = sequential protocol)")
 		endpoint   = flag.String("endpoint", "", "benchmark a remote SPARQL endpoint at this URL instead of the in-process engines")
 		queryIDs   = flag.String("queries", "", "comma-separated benchmark query ids to run (default: all 17)")
-		engines    = flag.String("engines", "", "comma-separated engine configurations (default: mem,native; see -experiment ablation for the full set, e.g. native-nlj)")
+		engines    = flag.String("engines", "", "comma-separated engine configurations (default: mem,native; ablations like native-nlj and the vectorized native-vec family also accepted)")
 		seed       = flag.Uint64("seed", 1, "generator seed")
 		memLimit   = flag.Uint64("memlimit", 0, "heap limit in bytes (0 = off)")
 		workdir    = flag.String("workdir", "", "directory caching generated documents and their .sp2b snapshots")

@@ -31,6 +31,7 @@ import (
 
 	"sp2bench/internal/core"
 	"sp2bench/internal/engine"
+	"sp2bench/internal/harness"
 	"sp2bench/internal/queries"
 	"sp2bench/internal/results"
 	"sp2bench/internal/sparql"
@@ -41,7 +42,7 @@ func main() {
 		data      = flag.String("d", "", "document to load: N-Triples or .sp2b snapshot (required)")
 		queryFile = flag.String("q", "", "file containing a SPARQL query")
 		queryID   = flag.String("id", "", "benchmark query id (q1..q12c)")
-		engName   = flag.String("engine", "native", "engine: native or mem")
+		engName   = flag.String("engine", "native", "engine configuration (native, mem, native-vec, or any ablation name)")
 		timeout   = flag.Duration("timeout", 5*time.Minute, "query timeout")
 		countOnly = flag.Bool("count", false, "print only the result count")
 		explain   = flag.Bool("explain", false, "print the physical plan")
@@ -62,15 +63,16 @@ func main() {
 		fatal(err)
 	}
 
-	var opts core.Options
-	switch *engName {
-	case "native":
-		opts = core.Native()
-	case "mem":
-		opts = core.Mem()
-	default:
-		fatal(fmt.Errorf("unknown engine %q (want native or mem)", *engName))
+	// Resolve against the harness registry so every named configuration
+	// (native, mem, the ablations, native-vec and its variants) works here.
+	specs, err := harness.ParseEngines(*engName)
+	if err != nil {
+		fatal(err)
 	}
+	if len(specs) != 1 {
+		fatal(fmt.Errorf("need exactly one engine, got %q", *engName))
+	}
+	opts := specs[0].Opts
 
 	text, err := queryText(*queryFile, *queryID)
 	if err != nil {

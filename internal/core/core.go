@@ -72,6 +72,10 @@ func Mem() engine.Options { return engine.Mem() }
 // Sesame-DB/Virtuoso family.
 func Native() engine.Options { return engine.Native() }
 
+// NativeVec returns the native configuration with the vectorized
+// batch-at-a-time executor enabled for covered SELECT queries.
+func NativeVec() engine.Options { return engine.NativeVec() }
+
 // DB is a loaded document plus one engine configuration over it.
 type DB struct {
 	store  *store.Store

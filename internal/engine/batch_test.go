@@ -1,0 +1,195 @@
+package engine
+
+// Property tests for the Batch primitives the vectorized operators are
+// built on. These run in-package: the selection/compaction contract is
+// internal, and getting it wrong silently corrupts results (a nil
+// selection means "all rows", so e.g. an all-rejecting filter that
+// installs nil passes everything — the exact bug emptySel guards).
+
+import (
+	"math/rand"
+	"testing"
+
+	"sp2bench/internal/store"
+)
+
+func rowOf(width int, base store.ID) []store.ID {
+	row := make([]store.ID, width)
+	for s := range row {
+		row[s] = base + store.ID(s)
+	}
+	return row
+}
+
+func TestBatchNewIsUnbound(t *testing.T) {
+	b := NewBatch(4, 8)
+	if b.Width() != 4 || b.Cap() != 8 || b.Len() != 0 || b.Live() != 0 || b.Full() {
+		t.Fatalf("fresh batch: width=%d cap=%d len=%d live=%d full=%v",
+			b.Width(), b.Cap(), b.Len(), b.Live(), b.Full())
+	}
+	// Every cell must read as unbound, including beyond Len.
+	for s := 0; s < b.Width(); s++ {
+		for r := 0; r < b.Cap(); r++ {
+			if b.cols[s][r] != store.NoID {
+				t.Fatalf("cell [%d][%d] = %d, want NoID", s, r, b.cols[s][r])
+			}
+		}
+	}
+}
+
+func TestBatchAppendUntilFull(t *testing.T) {
+	b := NewBatch(3, 4)
+	for i := 0; i < 4; i++ {
+		if !b.Append(rowOf(3, store.ID(10*i))) {
+			t.Fatalf("append %d rejected below capacity", i)
+		}
+	}
+	if !b.Full() || b.Len() != 4 {
+		t.Fatalf("after 4 appends: full=%v len=%d", b.Full(), b.Len())
+	}
+	if b.Append(rowOf(3, 99)) {
+		t.Fatal("append into a full batch succeeded")
+	}
+	if got := b.Col(1)[2]; got != 21 {
+		t.Fatalf("Col(1)[2] = %d, want 21", got)
+	}
+	buf := b.CopyRow(3, nil)
+	if buf[0] != 30 || buf[1] != 31 || buf[2] != 32 {
+		t.Fatalf("CopyRow(3) = %v", buf)
+	}
+}
+
+func TestBatchResetKeepsCapacityDropsRows(t *testing.T) {
+	b := NewBatch(2, 3)
+	for i := 0; i < 3; i++ {
+		b.Append(rowOf(2, store.ID(i)))
+	}
+	b.SetSel([]int32{0, 2})
+	b.Reset()
+	if b.Len() != 0 || b.Live() != 0 || b.Sel() != nil || b.Full() {
+		t.Fatalf("after Reset: len=%d live=%d sel=%v full=%v", b.Len(), b.Live(), b.Sel(), b.Full())
+	}
+	if b.Cap() != 3 || b.Width() != 2 {
+		t.Fatalf("Reset changed shape: cap=%d width=%d", b.Cap(), b.Width())
+	}
+	if !b.Append(rowOf(2, 7)) || b.Col(0)[0] != 7 {
+		t.Fatal("append after Reset failed")
+	}
+}
+
+func TestBatchCompactAppliesSelection(t *testing.T) {
+	b := NewBatch(2, 5)
+	for i := 0; i < 5; i++ {
+		b.Append([]store.ID{store.ID(i), store.ID(100 + i)})
+	}
+	b.SetSel([]int32{1, 3, 4})
+	if b.Live() != 3 || b.Len() != 5 {
+		t.Fatalf("pre-compact: live=%d len=%d", b.Live(), b.Len())
+	}
+	b.Compact()
+	if b.Len() != 3 || b.Sel() != nil {
+		t.Fatalf("post-compact: len=%d sel=%v", b.Len(), b.Sel())
+	}
+	want := [][2]store.ID{{1, 101}, {3, 103}, {4, 104}}
+	for i, w := range want {
+		if b.Col(0)[i] != w[0] || b.Col(1)[i] != w[1] {
+			t.Fatalf("row %d = (%d,%d), want %v", i, b.Col(0)[i], b.Col(1)[i], w)
+		}
+	}
+}
+
+func TestBatchCompactEmptySelectionDropsEverything(t *testing.T) {
+	b := NewBatch(2, 3)
+	b.Append(rowOf(2, 1))
+	b.Append(rowOf(2, 2))
+	// A non-nil empty selection must empty the batch; nil would mean
+	// "all rows selected" and leak both.
+	b.SetSel(emptySel(nil))
+	b.Compact()
+	if b.Len() != 0 {
+		t.Fatalf("empty selection left %d rows", b.Len())
+	}
+}
+
+func TestEmptySelNeverNil(t *testing.T) {
+	if emptySel(nil) == nil {
+		t.Fatal("emptySel(nil) returned nil")
+	}
+	buf := []int32{1, 2, 3}
+	got := emptySel(buf)
+	if got == nil || len(got) != 0 || cap(got) != cap(buf) {
+		t.Fatalf("emptySel(buf) = len %d cap %d", len(got), cap(got))
+	}
+}
+
+func TestBatchTruncate(t *testing.T) {
+	b := NewBatch(1, 4)
+	for i := 0; i < 4; i++ {
+		b.Append([]store.ID{store.ID(i)})
+	}
+	b.Truncate(5) // beyond Len: no-op
+	if b.Len() != 4 {
+		t.Fatalf("Truncate(5) changed len to %d", b.Len())
+	}
+	b.Truncate(2) // LIMIT landing mid-batch
+	if b.Len() != 2 || b.Col(0)[1] != 1 {
+		t.Fatalf("Truncate(2): len=%d", b.Len())
+	}
+	b.SetSel([]int32{0})
+	b.Truncate(0) // selection pending: no-op by contract
+	if b.Len() != 2 {
+		t.Fatalf("Truncate with pending selection changed len to %d", b.Len())
+	}
+}
+
+func TestBatchMinimumCapacityIsOne(t *testing.T) {
+	b := NewBatch(2, 0)
+	if b.Cap() != 1 {
+		t.Fatalf("cap = %d, want 1", b.Cap())
+	}
+	if !b.Append(rowOf(2, 5)) || !b.Full() {
+		t.Fatal("single-row batch did not fill")
+	}
+}
+
+// TestBatchCompactRandomized cross-checks Compact against a reference
+// gather on random fills and random ascending selections.
+func TestBatchCompactRandomized(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 200; trial++ {
+		width, capacity := 1+r.Intn(5), 1+r.Intn(16)
+		b := NewBatch(width, capacity)
+		n := r.Intn(capacity + 1)
+		data := make([][]store.ID, n)
+		for i := 0; i < n; i++ {
+			row := make([]store.ID, width)
+			for s := range row {
+				row[s] = store.ID(r.Intn(1000))
+			}
+			data[i] = row
+			b.Append(row)
+		}
+		var sel []int32
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				sel = append(sel, int32(i))
+			}
+		}
+		if sel == nil {
+			sel = emptySel(nil) // empty selection, not "select all"
+		}
+		b.SetSel(sel)
+		b.Compact()
+		if b.Len() != len(sel) {
+			t.Fatalf("trial %d: len=%d want %d", trial, b.Len(), len(sel))
+		}
+		for i, src := range sel {
+			for s := 0; s < width; s++ {
+				if b.Col(s)[i] != data[src][s] {
+					t.Fatalf("trial %d: row %d col %d = %d, want %d",
+						trial, i, s, b.Col(s)[i], data[src][s])
+				}
+			}
+		}
+	}
+}

@@ -233,6 +233,23 @@ func (b *bgpIter) stepFiltersPass(d int) bool {
 // buildBGP compiles a BGP, optionally reordering its patterns and placing
 // the given filter conjuncts (nil when the BGP has no governing FILTER).
 func (c *compiled) buildBGP(patterns []sparql.TriplePattern, conjuncts []sparql.Expr, outer []string) (subplan, error) {
+	b, ordered := c.prepareBGP(patterns, conjuncts, outer)
+	// The physical-operator layer upgrades join steps (merge/hash joins,
+	// parallel partitioned scan) when the engine options enable it; the
+	// backtracker above stays the fallback.
+	if phys := c.planBGP(b, ordered, outer); phys != nil {
+		return phys, nil
+	}
+	if c.trace != nil {
+		b.tsteps, b.test = c.fallbackTraceSteps(ordered, outer)
+	}
+	return b, nil
+}
+
+// prepareBGP performs the logical half of BGP compilation — pattern
+// reordering, constant interning, filter conjunct placement — shared by
+// the tuple path (buildBGP) and the vectorized pipeline (buildVecBGP).
+func (c *compiled) prepareBGP(patterns []sparql.TriplePattern, conjuncts []sparql.Expr, outer []string) (*bgpIter, []sparql.TriplePattern) {
 	ordered := patterns
 	if c.eng.opts.ReorderPatterns && len(patterns) > 1 {
 		ordered = c.reorder(patterns, outer)
@@ -293,16 +310,7 @@ func (c *compiled) buildBGP(patterns []sparql.TriplePattern, conjuncts []sparql.
 		last := len(b.steps) - 1
 		b.steps[last].filters = append(b.steps[last].filters, residual...)
 	}
-	// The physical-operator layer upgrades join steps (merge/hash joins,
-	// parallel partitioned scan) when the engine options enable it; the
-	// backtracker above stays the fallback.
-	if phys := c.planBGP(b, ordered, outer); phys != nil {
-		return phys, nil
-	}
-	if c.trace != nil {
-		b.tsteps, b.test = c.fallbackTraceSteps(ordered, outer)
-	}
-	return b, nil
+	return b, ordered
 }
 
 // fallbackTraceSteps builds the per-depth EXPLAIN ANALYZE counters for

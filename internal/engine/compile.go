@@ -15,10 +15,13 @@ import (
 // compiled is a query compiled against one engine: a slot assignment for
 // every variable plus the physical iterator tree.
 type compiled struct {
-	eng        *Engine
-	slots      map[string]int
-	names      []string // names[i] is the variable in slot i
-	root       subplan
+	eng   *Engine
+	slots map[string]int
+	names []string // names[i] is the variable in slot i
+	root  subplan
+	// vec is the batch-at-a-time pipeline when the vectorized path
+	// covers the query (see vec.go); nil means the tuple path runs.
+	vec        vecOp
 	projection []string
 	projSlots  []int
 	cancel     *canceller
@@ -92,6 +95,13 @@ func (e *Engine) compile(ctx context.Context, q *sparql.Query) (*compiled, error
 		return nil, err
 	}
 	c.root = root
+	// The vectorized path serves plain SELECTs; ASK needs row-at-a-time
+	// early exit and aggregates consume the core pattern through their
+	// own grouping loop. Construct/Describe reuse Query's SELECT core,
+	// so they inherit the batch path transparently.
+	if e.opts.Vectorized && q.Form == sparql.FormSelect && !q.IsAggregate() {
+		c.compileVec(plan)
+	}
 
 	if q.Form == sparql.FormSelect {
 		cols := q.Vars

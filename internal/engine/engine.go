@@ -63,6 +63,15 @@ type Options struct {
 	// set; 0 means GOMAXPROCS. Tests use it to force multi-worker plans
 	// on single-core machines.
 	ParallelWorkers int
+	// Vectorized routes covered SELECT queries through the
+	// batch-at-a-time executor (vec.go): columnar Batch slabs of
+	// dictionary IDs instead of tuple-at-a-time iterators, with
+	// per-query fallback to the tuple path for uncovered forms.
+	Vectorized bool
+	// BatchSize overrides the vectorized executor's batch row capacity;
+	// 0 means DefaultBatchSize. Tests use tiny sizes to stress batch
+	// boundaries.
+	BatchSize int
 }
 
 // Mem returns the in-memory engine configuration (the paper's
@@ -82,6 +91,16 @@ func Native() Options {
 		MergeJoins:      true,
 		Parallel:        true,
 	}
+}
+
+// NativeVec returns the native configuration with the vectorized
+// batch executor on top: covered queries run batch-at-a-time, the rest
+// keep the full tuple-path optimizations (including parallel scans).
+func NativeVec() Options {
+	o := Native()
+	o.Name = "native-vec"
+	o.Vectorized = true
+	return o
 }
 
 // Engine evaluates queries over one immutable triple source: a frozen
@@ -174,6 +193,30 @@ func (e *Engine) Query(ctx context.Context, q *sparql.Query) (*Result, error) {
 		return &Result{Form: sparql.FormAsk, Ask: ok}, nil
 	}
 	res := &Result{Form: sparql.FormSelect, Vars: c.projection}
+	if c.vec != nil {
+		// Batch path: materialize terms column-wise per batch.
+		c.vec.open()
+		for {
+			b, err := c.vec.next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				return res, nil
+			}
+			for r := 0; r < b.Len(); r++ {
+				out := make([]rdf.Term, len(c.projSlots))
+				for i, slot := range c.projSlots {
+					if slot >= 0 {
+						if id := b.Col(slot)[r]; id != store.NoID {
+							out[i] = e.src.TermDict().Term(id)
+						}
+					}
+				}
+				res.Rows = append(res.Rows, out)
+			}
+		}
+	}
 	c.root.open(c.emptyRow())
 	for {
 		row, ok, err := c.root.next()
@@ -213,6 +256,22 @@ func (e *Engine) Count(ctx context.Context, q *sparql.Query) (int, error) {
 		return 0, err
 	}
 	defer c.close()
+	if c.vec != nil {
+		// Batch path (SELECT only): sum batch row counts, no
+		// materialization at all — not even per-row iterator calls.
+		c.vec.open()
+		n := 0
+		for {
+			b, err := c.vec.next()
+			if err != nil {
+				return n, err
+			}
+			if b == nil {
+				return n, nil
+			}
+			n += b.Len()
+		}
+	}
 	c.root.open(c.emptyRow())
 	n := 0
 	for {

@@ -28,7 +28,13 @@ func allConfigs() []engine.Options {
 		}
 		out = append(out, o)
 	}
-	return out
+	// The vectorized engine must be indistinguishable too — once at the
+	// default batch size and once with a tiny batch so every operator
+	// crosses batch boundaries mid-query.
+	vec := engine.NativeVec()
+	tiny := engine.NativeVec()
+	tiny.Name, tiny.BatchSize = "native-vec-batch2", 2
+	return append(out, vec, tiny)
 }
 
 // tinyLibrary builds a small, fully hand-checkable bibliographic graph.

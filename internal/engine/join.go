@@ -113,7 +113,14 @@ type fastCmp struct {
 
 // sp2b:valuecmp implements FILTER comparison operators over slot pairs
 func (f fastCmp) eval(c *compiled, row []store.ID) bool {
-	a, b := row[f.l], row[f.r]
+	return f.cmpIDs(c, row[f.l], row[f.r])
+}
+
+// cmpIDs is the comparison core shared by the per-row eval above and
+// the column kernels of the vectorized path (vec.go).
+//
+// sp2b:valuecmp compares by term value, never by raw dictionary ID
+func (f fastCmp) cmpIDs(c *compiled, a, b store.ID) bool {
 	if a == store.NoID || b == store.NoID {
 		return false // unbound: the expression evaluator raises, FILTER rejects
 	}

@@ -39,7 +39,18 @@ func operatorAblations() []engine.Options {
 	par4 := engine.Native()
 	par4.Name, par4.ParallelWorkers = "native-parallel4", 4
 
-	return []engine.Options{nlj, engine.Native(), noHash, noMerge, noPar, par4}
+	vec := engine.NativeVec()
+	vecNoHash := engine.NativeVec()
+	vecNoHash.Name, vecNoHash.HashJoins = "native-vec-nohashjoin", false
+	vecNoMerge := engine.NativeVec()
+	vecNoMerge.Name, vecNoMerge.MergeJoins = "native-vec-nomergejoin", false
+	// A deliberately tiny batch forces every operator across batch
+	// boundaries mid-run, the states most likely to hold stale cursors.
+	vecTiny := engine.NativeVec()
+	vecTiny.Name, vecTiny.BatchSize = "native-vec-batch3", 3
+
+	return []engine.Options{nlj, engine.Native(), noHash, noMerge, noPar, par4,
+		vec, vecNoHash, vecNoMerge, vecTiny}
 }
 
 // TestGoldenPlans50k pins the reorder-plus-operator choices for the

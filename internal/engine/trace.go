@@ -51,6 +51,9 @@ type TraceNode struct {
 	EstRows float64 `json:"est_rows,omitempty"`
 	// Rows is the number of rows the operator actually produced.
 	Rows int64 `json:"rows"`
+	// Batches is the number of batches a vectorized operator emitted
+	// (0 = tuple-at-a-time operator).
+	Batches int64 `json:"batches,omitempty"`
 	// WallNS is inclusive wall time (children included).
 	WallNS int64 `json:"wall_ns"`
 	// Parallel is the worker fan-out of a partitioned BGP (0 = not
@@ -71,6 +74,7 @@ type TraceStep struct {
 	Pattern   string  `json:"pattern,omitempty"`
 	EstRows   float64 `json:"est_rows,omitempty"`
 	Rows      int64   `json:"rows"`
+	Batches   int64   `json:"batches,omitempty"`
 	BuildRows int64   `json:"build_rows,omitempty"`
 }
 
@@ -107,6 +111,7 @@ type tnode struct {
 	est      float64
 	parallel int
 	rows     atomic.Int64
+	batches  atomic.Int64
 	wall     atomic.Int64
 	steps    []*tstep
 	children []*tnode
@@ -118,6 +123,7 @@ type tstep struct {
 	pattern string
 	est     float64
 	rows    atomic.Int64
+	batches atomic.Int64
 	build   atomic.Int64
 }
 
@@ -203,6 +209,30 @@ func (tc *traceCollector) wrap(sp subplan) subplan {
 	return &traceIter{inner: sp, n: n}
 }
 
+// vecTraced wraps a vec operator, counting batches, rows, and
+// inclusive wall time onto its trace node.
+type vecTraced struct {
+	inner vecOp
+	n     *tnode
+}
+
+func (t *vecTraced) open() {
+	start := time.Now()
+	t.inner.open()
+	t.n.wall.Add(time.Since(start).Nanoseconds())
+}
+
+func (t *vecTraced) next() (*Batch, error) {
+	start := time.Now()
+	b, err := t.inner.next()
+	t.n.wall.Add(time.Since(start).Nanoseconds())
+	if b != nil {
+		t.n.batches.Add(1)
+		t.n.rows.Add(int64(b.Len()))
+	}
+	return b, err
+}
+
 // childNodes recovers the trace nodes of already-wrapped child
 // subplans.
 func childNodes(children ...subplan) []*tnode {
@@ -230,6 +260,7 @@ func snapshotNode(n *tnode) *TraceNode {
 		Detail:   n.detail,
 		EstRows:  n.est,
 		Rows:     n.rows.Load(),
+		Batches:  n.batches.Load(),
 		WallNS:   n.wall.Load(),
 		Parallel: n.parallel,
 	}
@@ -239,6 +270,7 @@ func snapshotNode(n *tnode) *TraceNode {
 			Pattern:   s.pattern,
 			EstRows:   s.est,
 			Rows:      s.rows.Load(),
+			Batches:   s.batches.Load(),
 			BuildRows: s.build.Load(),
 		})
 	}
@@ -318,6 +350,9 @@ func (t *Trace) Render(w io.Writer) {
 		if n.EstRows > 0 {
 			fmt.Fprintf(w, " est=%.0f", n.EstRows)
 		}
+		if n.Batches > 0 {
+			fmt.Fprintf(w, " batches=%d", n.Batches)
+		}
 		fmt.Fprintf(w, " wall=%v", time.Duration(n.WallNS).Round(time.Microsecond))
 		if n.Parallel > 1 {
 			fmt.Fprintf(w, " parallel=%d", n.Parallel)
@@ -331,6 +366,9 @@ func (t *Trace) Render(w io.Writer) {
 			fmt.Fprintf(w, "  rows=%d", s.Rows)
 			if s.EstRows > 0 {
 				fmt.Fprintf(w, " est=%.0f", s.EstRows)
+			}
+			if s.Batches > 0 {
+				fmt.Fprintf(w, " batches=%d", s.Batches)
 			}
 			if s.BuildRows > 0 {
 				fmt.Fprintf(w, " build=%d", s.BuildRows)

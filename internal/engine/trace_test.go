@@ -23,7 +23,7 @@ func TestAnalyzeTraceConsistency(t *testing.T) {
 	for _, tc := range []struct {
 		opts engine.Options
 		st   *store.Store
-	}{{engine.Native(), native}, {engine.Mem(), mem}} {
+	}{{engine.Native(), native}, {engine.Mem(), mem}, {engine.NativeVec(), native}} {
 		opts := tc.opts
 		eng := engine.New(tc.st, opts)
 		for _, q := range queries.All() {
@@ -40,6 +40,50 @@ func TestAnalyzeTraceConsistency(t *testing.T) {
 			if tr.WallNS < 0 {
 				t.Errorf("%s/%s: negative wall time %d", opts.Name, q.ID, tr.WallNS)
 			}
+		}
+	}
+}
+
+// TestAnalyzeTraceVectorized pins the batch path's trace contract on
+// queries the vec executor covers: the root is a vectorized operator
+// tree whose row counts match the result count, and per-batch counters
+// are populated (at least one batch whenever rows flowed).
+func TestAnalyzeTraceVectorized(t *testing.T) {
+	s, _ := generatedStore(t, 10_000)
+	eng := engine.New(s, engine.NativeVec())
+	ctx := context.Background()
+	for _, id := range []string{"q1", "q2", "q4", "q5b", "q9"} {
+		q, _ := queries.ByID(id)
+		n, tr, err := eng.CountAnalyze(ctx, q.Parse())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if tr == nil || tr.Root == nil {
+			t.Fatalf("%s: no trace collected", id)
+		}
+		if tr.Rows != int64(n) {
+			t.Errorf("%s: root rows %d != result count %d", id, tr.Rows, n)
+		}
+		vectorized := false
+		var walk func(tn *engine.TraceNode)
+		walk = func(tn *engine.TraceNode) {
+			if tn.Detail == "vectorized" {
+				vectorized = true
+				if tn.Rows > 0 && tn.Batches == 0 {
+					t.Errorf("%s: %s rows=%d but batches=0", id, tn.Op, tn.Rows)
+				}
+			}
+			for _, c := range tn.Children {
+				walk(c)
+			}
+		}
+		walk(tr.Root)
+		if !vectorized {
+			t.Errorf("%s: expected a vectorized trace, got op %q detail %q",
+				id, tr.Root.Op, tr.Root.Detail)
+		}
+		if n > 0 && tr.Root.Batches == 0 {
+			t.Errorf("%s: root emitted %d rows in 0 batches", id, n)
 		}
 	}
 }

@@ -130,8 +130,24 @@ func AblationEngines() []EngineSpec {
 	}
 }
 
+// VecEngines returns the vectorized engine configurations: the full
+// native-vec engine plus its join-operator ablations. They live outside
+// AblationEngines so the paper's ablation axis keeps its fixed set.
+func VecEngines() []EngineSpec {
+	vec := engine.NativeVec()
+	vecNoHash := engine.NativeVec()
+	vecNoHash.Name, vecNoHash.HashJoins = "native-vec-nohashjoin", false
+	vecNoMerge := engine.NativeVec()
+	vecNoMerge.Name, vecNoMerge.MergeJoins = "native-vec-nomergejoin", false
+	return []EngineSpec{
+		{Name: vec.Name, Opts: vec},
+		{Name: vecNoHash.Name, Opts: vecNoHash},
+		{Name: vecNoMerge.Name, Opts: vecNoMerge},
+	}
+}
+
 // KnownEngines returns every named engine configuration: the two paper
-// families plus the ablation set.
+// families, the ablation set, and the vectorized configurations.
 func KnownEngines() []EngineSpec {
 	out := DefaultEngines()
 	for _, es := range AblationEngines() {
@@ -139,7 +155,7 @@ func KnownEngines() []EngineSpec {
 			out = append(out, es)
 		}
 	}
-	return out
+	return append(out, VecEngines()...)
 }
 
 // ParseEngines resolves a comma-separated list of engine names ("native,

@@ -396,6 +396,61 @@ func (r IndexRange) Iterator() *Iterator {
 	return &Iterator{rows: r.Rows, order: r.Ord, filt: r.Filt}
 }
 
+// CopyColumns decodes a run of the range directly into component
+// columns: starting at physical row offset start, it visits up to max
+// rows that pass the residual filter, unpermutes each into SPO
+// component order, and writes the components into s, p and o (nil =
+// component not wanted). It returns the number of matching rows
+// written and the number of physical rows consumed, so a caller can
+// resume at start+consumed. This is the vectorized scan's bulk path:
+// one call fills a whole column batch without per-row iterator
+// dispatch.
+func (r IndexRange) CopyColumns(start, max int, s, p, o []ID) (written, consumed int) {
+	dst := [3][]ID{s, p, o}
+	// Map destination columns into index component order once, so the
+	// row loop indexes them directly.
+	var cdst [3][]ID
+	for i := 0; i < 3; i++ {
+		cdst[i] = dst[ordPos(r.Ord, i)]
+	}
+	rows := r.Rows[start:]
+	noFilt := r.Filt[0] == NoID && r.Filt[1] == NoID && r.Filt[2] == NoID
+	for consumed < len(rows) && written < max {
+		row := rows[consumed]
+		consumed++
+		if !noFilt &&
+			((r.Filt[0] != NoID && row[0] != r.Filt[0]) ||
+				(r.Filt[1] != NoID && row[1] != r.Filt[1]) ||
+				(r.Filt[2] != NoID && row[2] != r.Filt[2])) {
+			continue
+		}
+		if cdst[0] != nil {
+			cdst[0][written] = row[0]
+		}
+		if cdst[1] != nil {
+			cdst[1][written] = row[1]
+		}
+		if cdst[2] != nil {
+			cdst[2][written] = row[2]
+		}
+		written++
+	}
+	return written, consumed
+}
+
+// ordPos returns the SPO position held by component i of an
+// ord-ordered row.
+func ordPos(ord Order, i int) int {
+	switch ord {
+	case OrderSPO:
+		return i
+	case OrderPOS:
+		return [3]int{1, 2, 0}[i]
+	default: // OrderOSP
+		return [3]int{2, 0, 1}[i]
+	}
+}
+
 // Partition splits the range into at most parts contiguous sub-ranges of
 // near-equal row counts, preserving order: concatenating the partitions'
 // rows yields exactly the original range. Fewer than parts ranges are
