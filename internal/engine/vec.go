@@ -97,6 +97,11 @@ func (c *compiled) buildVecNode(n algebra.Node) (vecOp, string) {
 		if bgp, ok := node.Input.(*algebra.BGPNode); ok && c.eng.opts.PushFilters {
 			return c.buildVecBGP(bgp.Patterns, algebra.SplitConjuncts(node.Cond))
 		}
+		if lj, ok := node.Input.(*algebra.LeftJoinNode); ok {
+			if op, handled, why := c.buildVecAntiJoin(node, lj); handled {
+				return op, why
+			}
+		}
 		in, why := c.buildVecNode(node.Input)
 		if in == nil {
 			return nil, why
@@ -812,13 +817,14 @@ func (v *vecJoin) buildTable() error {
 // buildVecLeftJoin covers the OPTIONAL shape the benchmark exercises
 // (Q2): a single-pattern right side with no condition, probed per left
 // row; rows with no compatible extension pass through unextended.
+// Conditions and multi-pattern right sides go to the hash variant.
 func (c *compiled) buildVecLeftJoin(node *algebra.LeftJoinNode) (vecOp, string) {
 	if node.Cond != nil {
-		return nil, "optional with condition"
+		return c.buildVecHashLeftJoin(node, false)
 	}
 	rbgp, ok := node.Right.(*algebra.BGPNode)
 	if !ok || len(rbgp.Patterns) != 1 {
-		return nil, "optional right side not a single pattern"
+		return c.buildVecHashLeftJoin(node, false)
 	}
 	if !c.eng.opts.UseIndexes {
 		return nil, "no index access path"
@@ -974,6 +980,280 @@ func (v *vecLeftJoin) emit(out *Batch, t store.EncTriple, extend bool) bool {
 	}
 	out.n = n + 1
 	return true
+}
+
+// buildVecAntiJoin recognizes the closed-world-negation idiom (Q6/Q7):
+// a FILTER whose conjuncts are all `!bound(?v)` directly over a left
+// join whose BGP right side certainly binds every such ?v. A matched
+// left row is then guaranteed to fail the filter, so the join can drop
+// it internally — the first passing candidate short-circuits the probe
+// and the matched extensions are never emitted at all. handled=false
+// means the shape doesn't apply and the caller should compile the
+// filter and the left join separately.
+func (c *compiled) buildVecAntiJoin(f *algebra.FilterNode, lj *algebra.LeftJoinNode) (vecOp, bool, string) {
+	rbgp, ok := lj.Right.(*algebra.BGPNode)
+	if !ok {
+		return nil, false, "" // only a BGP certainly binds its variables
+	}
+	certain := toSet(rbgp.Vars())
+	for _, conj := range algebra.SplitConjuncts(f.Cond) {
+		not, ok := conj.(*sparql.Not)
+		if !ok {
+			return nil, false, ""
+		}
+		b, ok := not.Inner.(*sparql.Bound)
+		if !ok || !certain[b.Var] {
+			return nil, false, ""
+		}
+	}
+	op, why := c.buildVecHashLeftJoin(lj, true)
+	if op == nil {
+		return nil, false, why // fall back to leftjoin + filter
+	}
+	return op, true, ""
+}
+
+// buildVecHashLeftJoin covers the OPTIONAL shapes the single-pattern
+// probe cannot: a condition, a multi-pattern right side, or both. It
+// mirrors the tuple path's materialized hash left join — the right
+// side must be uncorrelated, is evaluated once as its own vec
+// pipeline, and is hashed by the canonical value key of an extracted
+// `?l = ?r` conjunct; the key conjunct stays in the residual because
+// segKey buckets may be coarser than `=`. With anti=true, matched left
+// rows are dropped instead of extended (closed-world negation).
+func (c *compiled) buildVecHashLeftJoin(node *algebra.LeftJoinNode, anti bool) (vecOp, string) {
+	if !c.eng.opts.HashLeftJoins {
+		return nil, "optional with condition needs hash left joins"
+	}
+	if !isUncorrelated(node.Right, node.Left.Vars(), nil) {
+		return nil, "optional right side correlated with the left"
+	}
+	left, why := c.buildVecNode(node.Left)
+	if left == nil {
+		return nil, why
+	}
+	right, why := c.buildVecNode(node.Right)
+	if right == nil {
+		return nil, why
+	}
+	lj := &vecHashLeftJoin{c: c, left: left, right: right, anti: anti}
+	lj.hashLeftSlot, lj.hashRightSlot = -1, -1
+	for _, v := range node.Right.Vars() {
+		lj.rightSlots = append(lj.rightSlots, c.slot(v))
+	}
+	if node.Cond != nil {
+		leftVars := toSet(node.Left.Vars())
+		rightVars := toSet(node.Right.Vars())
+		conjs := algebra.SplitConjuncts(node.Cond)
+		for _, conj := range conjs {
+			if lk, rk, ok := equiJoinKey(conj, leftVars, rightVars); ok && lj.hashLeftSlot < 0 {
+				lj.hashLeftSlot = c.slot(lk)
+				lj.hashRightSlot = c.slot(rk)
+				// No removal: the key conjunct STAYS in the residual as
+				// the semantic check (see buildLeftJoin).
+			}
+		}
+		lj.fast, lj.slow = c.compileFilters(conjs)
+	}
+	detail := "vectorized hash"
+	if anti {
+		detail = "vectorized hash anti"
+	}
+	c.notes = append(c.notes, fmt.Sprintf(
+		"leftjoin: %s (hash key: %v)", detail, lj.hashLeftSlot >= 0))
+	n := &tnode{op: "leftjoin", detail: detail, children: childTNodes(left, right)}
+	return c.vwrap(lj, n), ""
+}
+
+// vecHashLeftJoin is OPTIONAL with an uncorrelated materialized right
+// side: build the right pipeline's rows once (hashed by value key when
+// one was extracted), then probe per left row, re-checking every
+// condition conjunct on the merged row — fast slot comparisons via the
+// shared cmpIDs core, the rest through the expression evaluator, type
+// errors rejecting the candidate exactly like the tuple path. In anti
+// mode the first passing candidate drops the left row and unmatched
+// rows pass through bare.
+type vecHashLeftJoin struct {
+	c           *compiled
+	left, right vecOp
+	anti        bool
+
+	hashLeftSlot, hashRightSlot int
+	rightSlots                  []int
+	fast                        []fastCmp
+	slow                        []sparql.Expr
+	out                         *Batch
+
+	built   bool
+	matRows [][]store.ID
+	hash    map[string][][]store.ID
+
+	in      *Batch
+	ipos    int
+	cands   [][]store.ID
+	cpos    int
+	probing bool
+	matched bool
+	done    bool
+	scratch []store.ID
+}
+
+func (v *vecHashLeftJoin) open() {
+	v.left.open()
+	if v.out == nil {
+		v.out = v.c.newBatch()
+	}
+	v.built = false
+	v.matRows, v.hash = nil, nil
+	v.in, v.ipos = nil, 0
+	v.probing, v.done = false, false
+}
+
+// build drains the right pipeline once, materializing full-width rows.
+// Rows with an unbound hash key are dropped: they could never satisfy
+// the retained `=` conjunct (unbound comparison is a type error).
+//
+// sp2b:valuecmp the hash key implements FILTER `=` bucketing via segKey
+func (v *vecHashLeftJoin) build() error {
+	if v.built {
+		return nil
+	}
+	v.built = true
+	v.right.open()
+	dict := v.c.eng.src.TermDict()
+	if v.hashRightSlot >= 0 {
+		v.hash = map[string][][]store.ID{}
+	}
+	for {
+		b, err := v.right.next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			return nil
+		}
+		for r := 0; r < b.Len(); r++ {
+			row := b.CopyRow(r, nil)
+			if v.hashRightSlot >= 0 {
+				key := row[v.hashRightSlot]
+				if key == store.NoID {
+					continue
+				}
+				k := segKey(dict.Term(key))
+				v.hash[k] = append(v.hash[k], row)
+			} else {
+				v.matRows = append(v.matRows, row)
+			}
+		}
+		if err := v.c.cancel.check(); err != nil {
+			return err
+		}
+	}
+}
+
+// candidates returns the materialized rows worth probing for one left
+// row.
+//
+// sp2b:valuecmp probes the value-keyed hash built by build
+func (v *vecHashLeftJoin) candidates(leftRow []store.ID) [][]store.ID {
+	if v.hashLeftSlot < 0 {
+		return v.matRows
+	}
+	key := leftRow[v.hashLeftSlot]
+	if key == store.NoID {
+		return nil // unbound key: equality would be a type error
+	}
+	return v.hash[segKey(v.c.eng.src.TermDict().Term(key))]
+}
+
+// condPass evaluates every condition conjunct on the merged scratch
+// row; a type error rejects, like filterIter.
+func (v *vecHashLeftJoin) condPass() bool {
+	for _, f := range v.fast {
+		if !f.eval(v.c, v.scratch) {
+			return false
+		}
+	}
+	for _, f := range v.slow {
+		ok, err := algebra.EvalBool(f, rowBinding{c: v.c, row: v.scratch})
+		if err != nil || !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (v *vecHashLeftJoin) next() (*Batch, error) {
+	if v.done {
+		return nil, nil
+	}
+	if err := v.build(); err != nil {
+		return nil, err
+	}
+	out := v.out
+	out.Reset()
+	for {
+		if err := v.c.cancel.check(); err != nil {
+			return nil, err
+		}
+		if v.in == nil {
+			b, err := v.left.next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				v.done = true
+				if out.Len() == 0 {
+					return nil, nil
+				}
+				return out, nil
+			}
+			v.in, v.ipos, v.probing = b, 0, false
+		}
+		if !v.probing {
+			if v.ipos >= v.in.Len() {
+				v.in = nil
+				continue
+			}
+			// The left pipeline never writes the right-side slots, so the
+			// copied row carries NoID there; each candidate only has to
+			// overwrite those slots, and the bare emit resets them.
+			v.scratch = v.in.CopyRow(v.ipos, v.scratch)
+			v.cands = v.candidates(v.scratch)
+			v.cpos, v.matched = 0, false
+			v.probing = true
+		}
+		for v.cpos < len(v.cands) {
+			if out.Full() {
+				return out, nil // resume mid-probe: cpos holds the position
+			}
+			cand := v.cands[v.cpos]
+			v.cpos++
+			for _, s := range v.rightSlots {
+				v.scratch[s] = cand[s]
+			}
+			if !v.condPass() {
+				continue
+			}
+			v.matched = true
+			if v.anti {
+				v.cands = nil // first match drops the row; stop probing
+				break
+			}
+			out.Append(v.scratch)
+		}
+		if !v.matched {
+			if out.Full() {
+				return out, nil // resume at the bare emit: cands are spent
+			}
+			for _, s := range v.rightSlots {
+				v.scratch[s] = store.NoID
+			}
+			out.Append(v.scratch)
+		}
+		v.probing = false
+		v.ipos++
+	}
 }
 
 // vecFilter applies a FILTER over a non-BGP input (filters over BGPs

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -26,6 +27,7 @@ import (
 	"sp2bench/internal/engine"
 	"sp2bench/internal/gen"
 	"sp2bench/internal/queries"
+	"sp2bench/internal/shard"
 	"sp2bench/internal/snapshot"
 	"sp2bench/internal/store"
 	"sp2bench/internal/workload"
@@ -83,6 +85,10 @@ func ParseScales(s string) ([]Scale, error) {
 type EngineSpec struct {
 	Name string
 	Opts engine.Options
+	// Shards > 1 runs the engine over an in-process scatter-gather
+	// reader across that many hash shards of the loaded document,
+	// instead of directly over the single store.
+	Shards int
 }
 
 // DefaultEngines returns the two engine families the paper compares.
@@ -155,7 +161,21 @@ func KnownEngines() []EngineSpec {
 			out = append(out, es)
 		}
 	}
-	return append(out, VecEngines()...)
+	out = append(out, VecEngines()...)
+	return append(out, ShardEngines()...)
+}
+
+// ShardEngines returns the canonical sharded configurations: the tuple
+// and vectorized engines over a 4-shard in-process scatter-gather
+// reader. Any shard count works via the dynamic shardN-<engine> form
+// ParseEngines accepts (e.g. shard8-native).
+func ShardEngines() []EngineSpec {
+	tuple := engine.Native()
+	vec := engine.NativeVec()
+	return []EngineSpec{
+		{Name: "shard4-native", Opts: tuple, Shards: 4},
+		{Name: "shard4-native-vec", Opts: vec, Shards: 4},
+	}
 }
 
 // ParseEngines resolves a comma-separated list of engine names ("native,
@@ -175,7 +195,11 @@ func ParseEngines(s string) ([]EngineSpec, error) {
 		}
 		es, ok := known[name]
 		if !ok {
-			return nil, fmt.Errorf("harness: unknown engine %q (want one of %s)", name, strings.Join(names, ","))
+			es, ok = parseShardEngine(name, known)
+		}
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown engine %q (want one of %s, or shardN-<engine>, e.g. shard8-native-vec)",
+				name, strings.Join(names, ","))
 		}
 		out = append(out, es)
 	}
@@ -183,6 +207,30 @@ func ParseEngines(s string) ([]EngineSpec, error) {
 		return nil, fmt.Errorf("harness: no engines given")
 	}
 	return out, nil
+}
+
+// parseShardEngine resolves the dynamic shardN-<engine> form: any
+// registered engine configuration run over N in-process hash shards.
+func parseShardEngine(name string, known map[string]EngineSpec) (EngineSpec, bool) {
+	rest, found := strings.CutPrefix(name, "shard")
+	if !found {
+		return EngineSpec{}, false
+	}
+	numStr, base, found := strings.Cut(rest, "-")
+	if !found {
+		return EngineSpec{}, false
+	}
+	n, err := strconv.Atoi(numStr)
+	if err != nil || n < 1 {
+		return EngineSpec{}, false
+	}
+	es, found := known[base]
+	if !found {
+		return EngineSpec{}, false
+	}
+	es.Name = name
+	es.Shards = n
+	return es, true
 }
 
 // Outcome classifies a query run, matching Table IV's legend.
@@ -597,6 +645,9 @@ func (r *Runner) Run() (*Report, error) {
 			return nil, err
 		}
 		st := lr.store
+		// One split per shard count per scale: sharded specs at the same
+		// width share the scatter-gather reader (and its gather cache).
+		shardReaders := map[int]*shard.Reader{}
 		rep.Footprints[sc.Name] = st.Footprint()
 		rep.Sources[sc.Name] = lr.source
 		r.progressf("loaded %s from %s in %v (%s)\n",
@@ -621,10 +672,38 @@ func (r *Runner) Run() (*Report, error) {
 			factory := func() Executor {
 				return newEngineExecutor(es.Name, engine.New(st, es.Opts))
 			}
+			if es.Shards > 1 {
+				rd, err := r.shardReader(sc, st, es.Shards, shardReaders)
+				if err != nil {
+					return nil, err
+				}
+				factory = func() Executor {
+					return newEngineExecutor(es.Name, engine.NewReader(rd, es.Opts))
+				}
+			}
 			r.drive(rep, factory, sc, qs, lr.textParse, charge)
 		}
 	}
 	return rep, nil
+}
+
+// shardReader splits the loaded store into n in-process hash shards
+// (once per scale and shard count) and returns the scatter-gather
+// reader the sharded engine specs run over.
+func (r *Runner) shardReader(sc Scale, st *store.Store, n int, cache map[int]*shard.Reader) (*shard.Reader, error) {
+	if rd, ok := cache[n]; ok {
+		return rd, nil
+	}
+	start := time.Now()
+	set, stats, err := shard.Split(st, n)
+	if err != nil {
+		return nil, fmt.Errorf("harness: sharding %s: %w", sc.Name, err)
+	}
+	rd := set.Reader()
+	cache[n] = rd
+	r.progressf("split %s into %d shards in %v (max skew %.2f)\n",
+		sc.Name, n, time.Since(start).Round(time.Millisecond), stats.MaxSkew())
+	return rd, nil
 }
 
 // source labels one engine's LoadStats row: index-free engines are

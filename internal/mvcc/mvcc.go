@@ -143,6 +143,20 @@ func (s *Store) Len() int {
 //
 // sp2b:mutates-store publishes the next version under s.mu
 func (s *Store) Apply(batch []rdf.Triple) int {
+	return s.ApplyWithVocab(batch, nil)
+}
+
+// ApplyWithVocab is Apply with a vocabulary preamble: every term in
+// vocab is interned, in order, before the batch is encoded. A sharded
+// set calls it with the *full* batch's vocabulary on *every* shard, so
+// all shards' delta dictionaries extend by the identical term sequence
+// and keep issuing the same IDs — the update-path half of the global
+// dictionary contract. A version is therefore published even when the
+// routed sub-batch inserts nothing, as long as new terms were interned;
+// skipping that publication would let shard vocabularies diverge.
+//
+// sp2b:mutates-store publishes the next version under s.mu
+func (s *Store) ApplyWithVocab(batch []rdf.Triple, vocab []rdf.Term) int {
 	s.mu.Lock()
 	v := s.cur.Load()
 
@@ -173,6 +187,10 @@ func (s *Store) Apply(batch []rdf.Triple) int {
 		return id
 	}
 
+	for _, t := range vocab {
+		intern(t)
+	}
+
 	enc := make([]store.EncTriple, 0, len(batch))
 	for _, t := range batch {
 		enc = append(enc, store.EncTriple{intern(t.S), intern(t.P), intern(t.O)})
@@ -190,15 +208,21 @@ func (s *Store) Apply(batch []rdf.Triple) int {
 		}
 		kept = append(kept, t)
 	}
-	if len(kept) == 0 {
+	if len(kept) == 0 && !copied {
+		// Nothing inserted and no new vocabulary: the current version
+		// already describes this state.
 		s.mu.Unlock()
 		return 0
 	}
 
+	nd := v.delta
+	if len(kept) > 0 {
+		nd = v.delta.extend(kept)
+	}
 	next := &version{
 		gen:    v.gen,
 		base:   v.base,
-		delta:  v.delta.extend(kept),
+		delta:  nd,
 		terms:  terms,
 		lookup: lookup,
 	}

@@ -1,0 +1,30 @@
+package mvcc_test
+
+import (
+	"testing"
+
+	"sp2bench/internal/mvcc"
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/store"
+	"sp2bench/internal/store/readertest"
+)
+
+// An MVCC snapshot must present the same Reader semantics as a frozen
+// store. The interesting case is a half-and-half split: half the
+// fixture frozen in the base generation, half layered in the delta, so
+// every range merges the two.
+func TestSnapshotReaderConformance(t *testing.T) {
+	readertest.Run(t, func(t *testing.T, triples []rdf.Triple) store.Reader {
+		base := store.New()
+		for _, tr := range triples[:len(triples)/2] {
+			base.Add(tr)
+		}
+		base.Freeze()
+		live := mvcc.New(base, mvcc.MergePolicy{Disabled: true})
+		t.Cleanup(live.Close)
+		live.Apply(triples[len(triples)/2:])
+		sn := live.Snapshot()
+		t.Cleanup(sn.Close)
+		return sn
+	})
+}

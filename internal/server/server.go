@@ -26,6 +26,7 @@ import (
 	"sp2bench/internal/mvcc"
 	"sp2bench/internal/rdf"
 	"sp2bench/internal/results"
+	"sp2bench/internal/shard"
 	"sp2bench/internal/sparql"
 	"sp2bench/internal/store"
 )
@@ -239,9 +240,15 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, meta *reqMeta) (i
 	if analyze {
 		ectx, th = engine.WithAnalyze(ctx)
 	}
-	res, graph, err := eng.Eval(ectx, q)
+	res, graph, err := evalShielded(ectx, eng, q)
+	var fault *shard.FaultError
 	switch {
 	case err == nil:
+	case errors.As(err, &fault):
+		// A remote shard failed mid-scatter: the coordinator cannot
+		// answer correctly from the surviving shards, so the query fails
+		// as a gateway fault naming the culprit.
+		return httpError(w, http.StatusBadGateway, err)
 	case errors.Is(err, engine.ErrCancelled) || ctx.Err() != nil:
 		return httpError(w, http.StatusServiceUnavailable, fmt.Errorf("query timed out: %w", err))
 	default:
@@ -284,6 +291,24 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, meta *reqMeta) (i
 		return http.StatusOK, "write: " + err.Error()
 	}
 	return http.StatusOK, fmt.Sprintf("%s %d solutions as %s", q.Form, out.Len(), format)
+}
+
+// evalShielded evaluates a query, converting a shard fault panic —
+// the scatter layer's only way to signal a failed remote call through
+// the error-less store.Reader interface — back into an error the
+// protocol layer can map to a status. Any other panic is a bug and
+// propagates.
+func evalShielded(ctx context.Context, eng *engine.Engine, q *sparql.Query) (res *engine.Result, graph []rdf.Triple, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if fe, ok := p.(*shard.FaultError); ok {
+				err = fe
+				return
+			}
+			panic(p)
+		}
+	}()
+	return eng.Eval(ctx, q)
 }
 
 // writeAnalyze answers an ?analyze=1 request: a JSON document with the

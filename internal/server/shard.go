@@ -1,0 +1,184 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"sp2bench/internal/shard"
+	"sp2bench/internal/snapshot"
+	"sp2bench/internal/store"
+)
+
+// ShardMetaDoc is the /shard/meta JSON document: what a coordinator
+// needs to admit this process into a scatter-gather set — the shard's
+// identity within the partitioning, the dictionary fingerprint that
+// must agree across all shards (the global dictionary contract), and
+// the statistics table so the coordinator's optimizer never pays a
+// network round-trip for a selectivity estimate.
+type ShardMetaDoc struct {
+	Triples     int    `json:"triples"`
+	DictTerms   int    `json:"dict_terms"`
+	DictHash    string `json:"dict_hash"`
+	Partitioner string `json:"partitioner"`
+	// ShardIndex/ShardCount are -1/0 when the process does not know its
+	// placement (serving a non-shard document); coordinators refuse such
+	// endpoints rather than guess.
+	ShardIndex            int                `json:"shard_index"`
+	ShardCount            int                `json:"shard_count"`
+	TotalDistinctSubjects int                `json:"total_distinct_subjects"`
+	TotalDistinctObjects  int                `json:"total_distinct_objects"`
+	PredStats             []ShardPredStatDoc `json:"pred_stats"`
+}
+
+// ShardPredStatDoc is one row of the meta document's statistics table.
+type ShardPredStatDoc struct {
+	Pred             uint32 `json:"pred"`
+	Count            int    `json:"count"`
+	DistinctSubjects int    `json:"distinct_subjects"`
+	DistinctObjects  int    `json:"distinct_objects"`
+}
+
+// ShardHandler serves the shard data-plane a scatter-gather coordinator
+// consumes (internal/shard.OpenRemote):
+//
+//	GET /shard/meta   — ShardMetaDoc (identity, dict hash, statistics)
+//	GET /shard/dict   — the full global dictionary (snapshot.WriteDict)
+//	GET /shard/scan   — ?ord=&s=&p=&o=: matching rows of one index, in
+//	                    index component order, residuals applied, as
+//	                    little-endian uint32 triplets (12 bytes/row)
+//	GET /shard/count  — ?s=&p=&o=: {"count": n}
+//
+// index/count identify the shard within its partitioning (from the
+// shard file's name); pass -1/0 when unknown and coordinators will
+// refuse the endpoint.
+func ShardHandler(st *store.Store, index, count int) http.Handler {
+	var (
+		metaOnce sync.Once
+		metaBody []byte
+		dictOnce sync.Once
+		dictBody []byte
+		dictErr  error
+	)
+	meta := func() []byte {
+		metaOnce.Do(func() {
+			doc := ShardMetaDoc{
+				Triples:               st.Len(),
+				DictTerms:             st.TermDict().Len(),
+				DictHash:              fmt.Sprintf("%016x", shard.DictHash(st.TermDict())),
+				Partitioner:           shard.PartitionerVersion,
+				ShardIndex:            index,
+				ShardCount:            count,
+				TotalDistinctSubjects: st.TotalDistinctSubjects(),
+				TotalDistinctObjects:  st.TotalDistinctObjects(),
+			}
+			for _, ps := range st.PredStats() {
+				doc.PredStats = append(doc.PredStats, ShardPredStatDoc{
+					Pred:             uint32(ps.Pred),
+					Count:            ps.Count,
+					DistinctSubjects: ps.DistinctSubjects,
+					DistinctObjects:  ps.DistinctObjects,
+				})
+			}
+			metaBody, _ = json.Marshal(doc)
+			metaBody = append(metaBody, '\n')
+		})
+		return metaBody
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/shard/meta", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(meta())
+	})
+	mux.HandleFunc("/shard/dict", func(w http.ResponseWriter, r *http.Request) {
+		dictOnce.Do(func() {
+			var buf writeBuffer
+			dictErr = snapshot.WriteDict(&buf, st.Dict().Terms())
+			dictBody = buf.b
+		})
+		if dictErr != nil {
+			http.Error(w, dictErr.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(dictBody)
+	})
+	mux.HandleFunc("/shard/scan", func(w http.ResponseWriter, r *http.Request) {
+		ord, pat, err := shardPattern(r, true)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rg := st.RangeIn(ord, pat[0], pat[1], pat[2])
+		w.Header().Set("Content-Type", "application/octet-stream")
+		bw := bufio.NewWriterSize(w, 1<<16)
+		var rec [12]byte
+		f := rg.Filt
+		for _, row := range rg.Rows {
+			if (f[0] != store.NoID && row[0] != f[0]) ||
+				(f[1] != store.NoID && row[1] != f[1]) ||
+				(f[2] != store.NoID && row[2] != f[2]) {
+				continue
+			}
+			binary.LittleEndian.PutUint32(rec[0:], uint32(row[0]))
+			binary.LittleEndian.PutUint32(rec[4:], uint32(row[1]))
+			binary.LittleEndian.PutUint32(rec[8:], uint32(row[2]))
+			if _, err := bw.Write(rec[:]); err != nil {
+				return // client went away; nothing useful to do
+			}
+		}
+		bw.Flush()
+	})
+	mux.HandleFunc("/shard/count", func(w http.ResponseWriter, r *http.Request) {
+		_, pat, err := shardPattern(r, false)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"count\": %d}\n", st.Count(pat[0], pat[1], pat[2]))
+	})
+	return mux
+}
+
+// shardPattern parses the ?ord=&s=&p=&o= parameters of the scan and
+// count endpoints. IDs outside the dictionary cannot match and are not
+// an error (a coordinator's global dictionary may extend a frozen
+// shard's); a malformed number is.
+func shardPattern(r *http.Request, wantOrd bool) (store.Order, [3]store.ID, error) {
+	var pat [3]store.ID
+	q := r.URL.Query()
+	for i, name := range []string{"s", "p", "o"} {
+		v := q.Get(name)
+		if v == "" || v == "0" {
+			continue
+		}
+		n, err := strconv.ParseUint(v, 10, 32)
+		if err != nil {
+			return 0, pat, fmt.Errorf("bad %s=%q: %v", name, v, err)
+		}
+		pat[i] = store.ID(n)
+	}
+	if !wantOrd {
+		return 0, pat, nil
+	}
+	n, err := strconv.ParseUint(q.Get("ord"), 10, 8)
+	if err != nil || n > uint64(store.OrderOSP) {
+		return 0, pat, fmt.Errorf("bad ord=%q (want %d..%d)", q.Get("ord"), store.OrderSPO, store.OrderOSP)
+	}
+	return store.Order(n), pat, nil
+}
+
+// writeBuffer is a minimal bytes.Buffer stand-in for the one-shot dict
+// serialization (avoids retaining a Buffer's bookkeeping).
+type writeBuffer struct{ b []byte }
+
+func (w *writeBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}

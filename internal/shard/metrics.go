@@ -1,0 +1,26 @@
+package shard
+
+import "sp2bench/internal/obs"
+
+// Scatter-gather metrics, registered in the process-wide registry that
+// sp2bserve exposes at /metrics. They answer the capacity questions a
+// coordinator raises: how often queries route to one shard vs fan out,
+// how many rows the gather layer moves, and how each shard's scan
+// latency distributes.
+var (
+	metricRouted = obs.Default.Counter("sp2b_shard_route_single_total",
+		"Index scans answered by a single shard (bound-subject routing or single-owner fast path).")
+	metricScatters = obs.Default.Counter("sp2b_shard_scatter_total",
+		"Index scans fanned out to every shard.")
+	metricGatherRows = obs.Default.Histogram("sp2b_shard_gather_rows",
+		"Rows merged per gathered scan.",
+		[]float64{0, 10, 100, 1e3, 1e4, 1e5, 1e6, 1e7})
+	metricGatherCacheHits = obs.Default.Counter("sp2b_shard_gather_cache_hits_total",
+		"Gathered scans served from the coordinator's merged-run cache.")
+	metricShardScanSeconds = obs.Default.HistogramVec("sp2b_shard_scan_seconds",
+		"Per-shard scan latency within a scatter, by shard.", nil, "shard")
+	metricRemoteBytes = obs.Default.Counter("sp2b_shard_remote_bytes_total",
+		"Row bytes fetched from remote shard servers.")
+	metricShardFaults = obs.Default.CounterVec("sp2b_shard_faults_total",
+		"Failed remote shard calls, by endpoint.", "endpoint")
+)

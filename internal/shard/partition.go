@@ -1,0 +1,143 @@
+// Package shard refactors the store/engine boundary for scale-out: a
+// deterministic hash partitioner splits a dataset into N disjoint
+// shards by subject, a Set holds the N per-shard stores under one
+// global dictionary contract, and a Reader implements store.Reader by
+// scattering index-range scans across the shards and gathering the
+// per-shard co-sorted runs back into one sorted run — so the engine's
+// merge joins and the vectorized batch path run unchanged on top.
+//
+// Partitioning is by subject *term*, not by dictionary ID: the FNV-1a
+// hash of the subject's kind/value/datatype/lang is stable across
+// processes, dictionaries, and dataset versions, which is what lets a
+// generator, an in-process coordinator, and a fleet of shard servers
+// agree on triple placement without coordination. Subject partitioning
+// keeps every star join (all SP2Bench queries are subject-star-shaped
+// at their core) local to one shard and makes bound-subject probes a
+// single-shard route instead of a fan-out.
+package shard
+
+import (
+	"hash/fnv"
+
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/store"
+)
+
+// PartitionerVersion names the placement function. It is recorded in
+// shard-set manifests and checked when a set is opened: mixing shards
+// produced by different placement functions would silently lose or
+// duplicate triples.
+const PartitionerVersion = "fnv1a-subject-v1"
+
+// Partitioner places triples on shards by hashing the subject term.
+// The zero value is unusable; construct with New.
+type Partitioner struct {
+	n int
+}
+
+// NewPartitioner returns a placement function over n shards (n >= 1).
+func NewPartitioner(n int) Partitioner {
+	if n < 1 {
+		n = 1
+	}
+	return Partitioner{n: n}
+}
+
+// Shards returns the shard count.
+func (p Partitioner) Shards() int { return p.n }
+
+// ShardOf returns the owning shard of a subject term.
+func (p Partitioner) ShardOf(subject rdf.Term) int {
+	return int(TermHash(subject) % uint64(p.n))
+}
+
+// TermHash is the deterministic 64-bit FNV-1a fingerprint of a term,
+// covering kind, value, datatype and language tag with length framing
+// so no two distinct terms collide structurally. It is also the
+// building block of the dictionary-contract hash (Set manifests).
+func TermHash(t rdf.Term) uint64 {
+	h := fnv.New64a()
+	var kind [1]byte
+	kind[0] = byte(t.Kind)
+	h.Write(kind[:])
+	writeFramed(h, t.Value)
+	writeFramed(h, t.Datatype)
+	writeFramed(h, t.Lang)
+	return h.Sum64()
+}
+
+func writeFramed(h interface{ Write([]byte) (int, error) }, s string) {
+	var n [4]byte
+	n[0], n[1], n[2], n[3] = byte(len(s)), byte(len(s)>>8), byte(len(s)>>16), byte(len(s)>>24)
+	h.Write(n[:])
+	h.Write([]byte(s))
+}
+
+// DictHash fingerprints a dictionary's full term sequence in ID order.
+// Two dictionaries with equal hashes issue the same ID for every term —
+// the global dictionary contract a Set verifies before it will merge
+// rows from different shard files.
+func DictHash(dict store.TermSource) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for id := store.ID(1); int(id) <= dict.Len(); id++ {
+		th := TermHash(dict.Term(id))
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(th >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// ShardRoute describes where one shard's share of a dataset landed.
+type ShardRoute struct {
+	// Triples and Subjects are the shard's triple count and distinct
+	// subject count.
+	Triples  int `json:"triples"`
+	Subjects int `json:"subjects"`
+	// TypeTriples counts the shard's rdf:type triples — the class
+	// membership rows the log studies say dominate simple lookups.
+	TypeTriples int `json:"type_triples"`
+}
+
+// RouteStats summarizes a Split: the per-shard balance plus the
+// per-predicate spread, the type/predicate-aware routing view that
+// explains scatter costs (a predicate present on every shard gathers
+// N runs; one present on a single shard routes).
+type RouteStats struct {
+	Shards []ShardRoute `json:"shards"`
+	// PredicateSpread maps each predicate IRI to the number of shards
+	// holding at least one triple with it.
+	PredicateSpread map[string]int `json:"predicate_spread"`
+}
+
+// MaxSkew returns the largest shard triple count divided by the ideal
+// (total/n); 1.0 is a perfect balance.
+func (rs RouteStats) MaxSkew() float64 {
+	total, maxN := 0, 0
+	for _, s := range rs.Shards {
+		total += s.Triples
+		if s.Triples > maxN {
+			maxN = s.Triples
+		}
+	}
+	if total == 0 || len(rs.Shards) == 0 {
+		return 1
+	}
+	ideal := float64(total) / float64(len(rs.Shards))
+	return float64(maxN) / ideal
+}
+
+// SpreadPredicates returns how many predicates have triples on more
+// than one shard — the scans subject-hash partitioning cannot route,
+// the ones that scatter.
+func (rs RouteStats) SpreadPredicates() int {
+	n := 0
+	for _, shards := range rs.PredicateSpread {
+		if shards > 1 {
+			n++
+		}
+	}
+	return n
+}

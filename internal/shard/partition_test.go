@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"testing"
+
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/store"
+)
+
+// Placement must be a pure function of the term: same term, same
+// shard, in any process, against any dictionary.
+func TestShardOfDeterministic(t *testing.T) {
+	p := NewPartitioner(4)
+	q := NewPartitioner(4)
+	terms := []rdf.Term{
+		rdf.IRI("http://example.org/a"),
+		rdf.Blank("b1"),
+		rdf.Literal("x"),
+		rdf.TypedLiteral("1", "http://www.w3.org/2001/XMLSchema#integer"),
+		rdf.LangLiteral("x", "en"),
+	}
+	for _, term := range terms {
+		if p.ShardOf(term) != q.ShardOf(term) {
+			t.Errorf("ShardOf(%v) differs between equal partitioners", term)
+		}
+		if s := p.ShardOf(term); s < 0 || s >= 4 {
+			t.Errorf("ShardOf(%v) = %d out of range", term, s)
+		}
+	}
+}
+
+// Structurally distinct terms must hash apart even when their value
+// strings collide under naive concatenation — the length framing and
+// kind byte are load-bearing.
+func TestTermHashDistinguishesStructure(t *testing.T) {
+	pairs := [][2]rdf.Term{
+		{rdf.IRI("x"), rdf.Literal("x")},
+		{rdf.Literal("x"), rdf.LangLiteral("x", "en")},
+		{rdf.Literal("x"), rdf.TypedLiteral("x", "t")},
+		{rdf.LangLiteral("x", "en"), rdf.TypedLiteral("x", "en")},
+		{rdf.TypedLiteral("ab", "c"), rdf.TypedLiteral("a", "bc")},
+		{rdf.Blank("x"), rdf.IRI("x")},
+	}
+	for _, pr := range pairs {
+		if TermHash(pr[0]) == TermHash(pr[1]) {
+			t.Errorf("TermHash collision between %v and %v", pr[0], pr[1])
+		}
+	}
+}
+
+// DictHash is the global dictionary contract: equal term sequences hash
+// equal, any divergence in content or order hashes apart.
+func TestDictHashContract(t *testing.T) {
+	build := func(values ...string) *store.Dict {
+		terms := make([]rdf.Term, len(values))
+		for i, v := range values {
+			terms[i] = rdf.IRI(v)
+		}
+		d, err := store.NewDictFromTerms(terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	a := build("u", "v", "w")
+	b := build("u", "v", "w")
+	if DictHash(a) != DictHash(b) {
+		t.Fatal("equal dictionaries hash apart")
+	}
+	if DictHash(a) == DictHash(build("u", "w", "v")) {
+		t.Fatal("reordered dictionary hashes equal: ID assignment would diverge undetected")
+	}
+	if DictHash(a) == DictHash(build("u", "v")) {
+		t.Fatal("prefix dictionary hashes equal")
+	}
+}
+
+func TestRouteStatsMaxSkew(t *testing.T) {
+	rs := RouteStats{Shards: []ShardRoute{{Triples: 30}, {Triples: 10}, {Triples: 20}}}
+	if got := rs.MaxSkew(); got != 1.5 {
+		t.Fatalf("MaxSkew = %v, want 1.5", got)
+	}
+	if got := (RouteStats{}).MaxSkew(); got != 1 {
+		t.Fatalf("empty MaxSkew = %v, want 1", got)
+	}
+}

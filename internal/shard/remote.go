@@ -1,0 +1,219 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"sp2bench/internal/client"
+	"sp2bench/internal/store"
+)
+
+// FaultError is a failed call to a remote shard. Remote sources
+// surface it by panicking — the store.Reader interface has no error
+// returns, and a missing shard makes the whole gathered answer wrong,
+// so there is no partial result to limp along with. The serving layer
+// recovers it and maps it to 502 Bad Gateway with the shard and
+// endpoint named, which is the coordinator's partial-failure contract:
+// fail the query, identify the culprit, keep the process alive.
+type FaultError struct {
+	Shard    int
+	Endpoint string
+	Err      error
+}
+
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("shard %d (%s): %v", e.Shard, e.Endpoint, e.Err)
+}
+
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// remoteSource implements store.Reader over one shard server's
+// /shard/* data plane. Scans and counts are HTTP round-trips under a
+// per-call timeout; statistics are answered from the meta document
+// fetched at open, so planning never touches the network.
+type remoteSource struct {
+	shard   int
+	c       *client.Client
+	timeout time.Duration
+	dict    store.TermSource
+
+	triples               int
+	totalDistinctSubjects int
+	totalDistinctObjects  int
+	preds                 map[store.ID]client.ShardPredStat
+
+	mu        sync.Mutex
+	cache     map[rangeKey][]store.EncTriple
+	cacheRows int
+}
+
+func newRemoteSource(shard int, c *client.Client, timeout time.Duration, dict store.TermSource, meta *client.ShardMeta) *remoteSource {
+	preds := make(map[store.ID]client.ShardPredStat, len(meta.PredStats))
+	for _, ps := range meta.PredStats {
+		preds[store.ID(ps.Pred)] = ps
+	}
+	return &remoteSource{
+		shard:                 shard,
+		c:                     c,
+		timeout:               timeout,
+		dict:                  dict,
+		triples:               meta.Triples,
+		totalDistinctSubjects: meta.TotalDistinctSubjects,
+		totalDistinctObjects:  meta.TotalDistinctObjects,
+		preds:                 preds,
+		cache:                 map[rangeKey][]store.EncTriple{},
+	}
+}
+
+// callCtx bounds one remote call. The per-shard timeout is independent
+// of the query's own deadline: a stuck shard fails fast with a named
+// culprit instead of burning the whole query budget.
+func (r *remoteSource) callCtx() (context.Context, context.CancelFunc) {
+	if r.timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), r.timeout)
+}
+
+func (r *remoteSource) fault(err error) {
+	metricShardFaults.With(r.c.Endpoint()).Inc()
+	panic(&FaultError{Shard: r.shard, Endpoint: r.c.Endpoint(), Err: err})
+}
+
+func (r *remoteSource) TermDict() store.TermSource { return r.dict }
+
+func (r *remoteSource) Len() int { return r.triples }
+
+func (r *remoteSource) Triples() []store.EncTriple {
+	return r.RangeIn(store.OrderSPO, store.NoID, store.NoID, store.NoID).Rows
+}
+
+func (r *remoteSource) Range(sub, pred, obj store.ID) store.IndexRange {
+	return r.RangeIn(store.ChooseOrder(sub != store.NoID, pred != store.NoID, obj != store.NoID), sub, pred, obj)
+}
+
+func (r *remoteSource) Iterate(sub, pred, obj store.ID) *store.Iterator {
+	return r.Range(sub, pred, obj).Iterator()
+}
+
+// RangeIn fetches the matching rows of one index ordering. The shard
+// applies residuals before the rows hit the wire, so the returned
+// range is dense: full bound prefix as Lead, no Filt — the same shape
+// the gather merge produces locally. Fetched runs are cached under the
+// same row budget the gather cache uses, so one query's repeated scans
+// of a pattern pay one round-trip.
+func (r *remoteSource) RangeIn(ord store.Order, sub, pred, obj store.ID) store.IndexRange {
+	key := rangeKey{ord, sub, pred, obj}
+	lead := boundPrefix(ord, sub, pred, obj)
+	r.mu.Lock()
+	if rows, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return store.IndexRange{Ord: ord, Rows: rows, Lead: lead}
+	}
+	r.mu.Unlock()
+
+	ctx, cancel := r.callCtx()
+	defer cancel()
+	rows, nbytes, err := r.c.ShardScan(ctx, ord, sub, pred, obj)
+	if err != nil {
+		r.fault(err)
+	}
+	metricRemoteBytes.Add(uint64(nbytes))
+
+	r.mu.Lock()
+	if _, ok := r.cache[key]; !ok && r.cacheRows+len(rows) <= 4*r.triples {
+		r.cache[key] = rows
+		r.cacheRows += len(rows)
+	}
+	r.mu.Unlock()
+	return store.IndexRange{Ord: ord, Rows: rows, Lead: lead}
+}
+
+func (r *remoteSource) Count(sub, pred, obj store.ID) int {
+	ctx, cancel := r.callCtx()
+	defer cancel()
+	n, err := r.c.ShardCount(ctx, sub, pred, obj)
+	if err != nil {
+		r.fault(err)
+	}
+	return n
+}
+
+// Statistics come from the meta document — estimates for the
+// optimizer, answered locally.
+
+func (r *remoteSource) PredCardinality(p store.ID) int { return r.preds[p].Count }
+
+func (r *remoteSource) DistinctSubjects(p store.ID) int { return r.preds[p].DistinctSubjects }
+
+func (r *remoteSource) DistinctObjects(p store.ID) int { return r.preds[p].DistinctObjects }
+
+func (r *remoteSource) TotalDistinctSubjects() int { return r.totalDistinctSubjects }
+
+func (r *remoteSource) TotalDistinctObjects() int { return r.totalDistinctObjects }
+
+func (r *remoteSource) DistinctPredicates() int { return len(r.preds) }
+
+var _ store.Reader = (*remoteSource)(nil)
+
+// OpenRemote builds a scatter-gather Reader over remote shard servers,
+// one endpoint per shard in partition order. Admission is strict:
+// every endpoint must identify itself (shard index and count from its
+// file name) and its position in the list must match its index — a
+// shuffled endpoint list would silently route bound-subject scans to
+// the wrong shard, so it is refused, not guessed around. All shards
+// must advertise the same dictionary hash (the global dictionary
+// contract) and the hash must match the dictionary actually fetched.
+//
+// timeout bounds each remote call (0 = none); ctx bounds the admission
+// round-trips only.
+func OpenRemote(ctx context.Context, endpoints []string, timeout time.Duration) (*Reader, error) {
+	if len(endpoints) == 0 {
+		return nil, fmt.Errorf("shard: no endpoints")
+	}
+	clients := make([]*client.Client, len(endpoints))
+	metas := make([]*client.ShardMeta, len(endpoints))
+	for i, ep := range endpoints {
+		clients[i] = client.New(ep)
+		m, err := clients[i].ShardMeta(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d (%s): meta: %w", i, ep, err)
+		}
+		if m.Partitioner != PartitionerVersion {
+			return nil, fmt.Errorf("shard %d (%s): partitioner %q, this build uses %q", i, ep, m.Partitioner, PartitionerVersion)
+		}
+		if m.ShardIndex < 0 || m.ShardCount <= 0 {
+			return nil, fmt.Errorf("shard %d (%s): endpoint does not identify itself as a shard (serve a %s file)", i, ep, ShardFileName(0, len(endpoints)))
+		}
+		if m.ShardCount != len(endpoints) {
+			return nil, fmt.Errorf("shard %d (%s): serves 1 of %d shards, %d endpoints given", i, ep, m.ShardCount, len(endpoints))
+		}
+		if m.ShardIndex != i {
+			return nil, fmt.Errorf("shard %d (%s): endpoint serves shard %d — list endpoints in shard order", i, ep, m.ShardIndex)
+		}
+		if i > 0 && m.DictHash != metas[0].DictHash {
+			return nil, fmt.Errorf("shard %d (%s): dictionary hash %s, shard 0 has %s — shards were not written together", i, ep, m.DictHash, metas[0].DictHash)
+		}
+		metas[i] = m
+	}
+
+	terms, err := clients[0].ShardDict(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("shard 0 (%s): dict: %w", endpoints[0], err)
+	}
+	dict, err := store.NewDictFromTerms(terms)
+	if err != nil {
+		return nil, fmt.Errorf("shard 0 (%s): dict: %w", endpoints[0], err)
+	}
+	if got := fmt.Sprintf("%016x", DictHash(dict)); got != metas[0].DictHash {
+		return nil, fmt.Errorf("fetched dictionary hashes %s, shard 0 advertises %s", got, metas[0].DictHash)
+	}
+
+	srcs := make([]Source, len(endpoints))
+	for i := range endpoints {
+		srcs[i] = newRemoteSource(i, clients[i], timeout, dict, metas[i])
+	}
+	return newReader(NewPartitioner(len(endpoints)), dict, srcs), nil
+}

@@ -1,0 +1,347 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"sp2bench/internal/mvcc"
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/snapshot"
+	"sp2bench/internal/store"
+)
+
+// ManifestName is the shard-set manifest file written next to the
+// per-shard snapshots in a shard directory.
+const ManifestName = "shards.json"
+
+// Manifest records what a shard directory holds, so Open can refuse
+// mismatched inputs instead of silently merging the wrong data.
+type Manifest struct {
+	Version     int      `json:"version"`
+	Partitioner string   `json:"partitioner"`
+	Shards      int      `json:"shards"`
+	DictTerms   int      `json:"dict_terms"`
+	DictHash    string   `json:"dict_hash"`
+	Triples     []int    `json:"triples"`
+	Files       []string `json:"files"`
+}
+
+// Set is N per-shard stores under one global dictionary: every shard's
+// triple IDs resolve in the same dictionary, which is the property that
+// lets the gather layer merge per-shard rows without any translation.
+// Construct with Split (in-process) or Open (a directory of per-shard
+// snapshots); the zero value is unusable.
+type Set struct {
+	parts  Partitioner
+	dict   *store.Dict
+	shards []*store.Store
+
+	// Update state, nil until EnableUpdates: one MVCC store per shard.
+	// mu serializes Apply fan-outs against snapshot acquisition so a
+	// cross-shard batch is never observed half-applied; it is never held
+	// during query evaluation.
+	mu   sync.Mutex
+	live []*mvcc.Store
+}
+
+// Split partitions a loaded store into n shards in-process. The source
+// is frozen (Split takes ownership, like engine construction) and its
+// dictionary becomes the set's shared global dictionary — no terms are
+// copied. The returned RouteStats describe the placement.
+//
+// sp2b:locks=write Split freezes the source store on construction; the
+// caller must not share it with concurrent writers
+func Split(src *store.Store, n int) (*Set, RouteStats, error) {
+	if n < 1 {
+		return nil, RouteStats{}, fmt.Errorf("shard: shard count %d < 1", n)
+	}
+	src.Freeze()
+	parts := NewPartitioner(n)
+	dict := src.Dict()
+	typeID, _ := dict.Lookup(rdf.IRI(rdf.RDFType))
+
+	buckets := make([][]store.EncTriple, n)
+	stats := RouteStats{Shards: make([]ShardRoute, n), PredicateSpread: map[string]int{}}
+	predShards := map[store.ID]uint64{}
+	var prevSubj store.ID
+	prevShard := -1
+	for _, t := range src.Triples() { // SPO order: equal subjects are consecutive
+		sh := prevShard
+		if t[0] != prevSubj || sh < 0 {
+			sh = parts.ShardOf(dict.Term(t[0]))
+			prevSubj, prevShard = t[0], sh
+			stats.Shards[sh].Subjects++
+		}
+		buckets[sh] = append(buckets[sh], t)
+		stats.Shards[sh].Triples++
+		if typeID != store.NoID && t[1] == typeID {
+			stats.Shards[sh].TypeTriples++
+		}
+		predShards[t[1]] |= 1 << uint(sh%64)
+	}
+	for p, mask := range predShards {
+		n := 0
+		for ; mask != 0; mask &= mask - 1 {
+			n++
+		}
+		stats.PredicateSpread[dict.Term(p).Value] = n
+	}
+
+	set := &Set{parts: parts, dict: dict, shards: make([]*store.Store, n)}
+	for i, rows := range buckets {
+		st := store.NewWithDict(dict)
+		st.AddEncodedAll(rows)
+		st.Freeze()
+		set.shards[i] = st
+	}
+	return set, stats, nil
+}
+
+// WriteDir persists the set as a directory of per-shard snapshots plus
+// a manifest. Every shard file embeds the full global dictionary, so
+// each is independently loadable by any snapshot consumer (a shard
+// server serves exactly one of them); the manifest's dictionary hash is
+// what Open later verifies as the global dictionary contract.
+func (s *Set) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	m := Manifest{
+		Version:     1,
+		Partitioner: PartitionerVersion,
+		Shards:      len(s.shards),
+		DictTerms:   s.dict.Len(),
+		DictHash:    fmt.Sprintf("%016x", DictHash(s.dict)),
+	}
+	for i, st := range s.shards {
+		name := ShardFileName(i, len(s.shards))
+		if err := snapshot.WriteAtomic(filepath.Join(dir, name), func(w io.Writer) error {
+			return snapshot.Write(w, st)
+		}); err != nil {
+			return fmt.Errorf("shard: writing %s: %w", name, err)
+		}
+		m.Files = append(m.Files, name)
+		m.Triples = append(m.Triples, st.Len())
+	}
+	b, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return snapshot.WriteAtomic(filepath.Join(dir, ManifestName), func(w io.Writer) error {
+		_, werr := w.Write(append(b, '\n'))
+		return werr
+	})
+}
+
+// ShardFileName returns the canonical per-shard snapshot file name.
+func ShardFileName(i, n int) string {
+	return fmt.Sprintf("shard-%02d-of-%02d%s", i, n, snapshot.Ext)
+}
+
+// ParseShardFileName recovers (index, count) from a canonical shard
+// file name. A shard server sniffs its own identity from the file it
+// was pointed at, so a coordinator can refuse endpoint lists whose
+// order disagrees with the partitioner's placement.
+func ParseShardFileName(base string) (i, n int, ok bool) {
+	var suffix string
+	if c, err := fmt.Sscanf(base, "shard-%02d-of-%02d%s", &i, &n, &suffix); err != nil || c != 3 {
+		return 0, 0, false
+	}
+	if suffix != snapshot.Ext || i < 0 || n <= 0 || i >= n {
+		return 0, 0, false
+	}
+	return i, n, true
+}
+
+// Open loads a shard directory written by WriteDir (or sp2bgen
+// -shards). Every shard file carries its own copy of the global
+// dictionary; Open verifies they all hash identically — the global
+// dictionary contract — and then rebases every shard onto one shared
+// dictionary instance so the set holds a single vocabulary in memory.
+func Open(dir string) (*Set, error) {
+	b, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("shard: parsing manifest: %w", err)
+	}
+	if m.Partitioner != PartitionerVersion {
+		return nil, fmt.Errorf("shard: manifest partitioner %q, this build uses %q", m.Partitioner, PartitionerVersion)
+	}
+	if m.Shards < 1 || len(m.Files) != m.Shards {
+		return nil, fmt.Errorf("shard: manifest lists %d files for %d shards", len(m.Files), m.Shards)
+	}
+
+	set := &Set{parts: NewPartitioner(m.Shards), shards: make([]*store.Store, m.Shards)}
+	for i, name := range m.Files {
+		st, err := snapshot.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("shard: loading %s: %w", name, err)
+		}
+		if got := fmt.Sprintf("%016x", DictHash(st.Dict())); got != m.DictHash {
+			return nil, fmt.Errorf("shard: %s dictionary hash %s != manifest %s (dictionary contract violated)",
+				name, got, m.DictHash)
+		}
+		if i == 0 {
+			set.dict = st.Dict()
+			set.shards[0] = st
+			continue
+		}
+		// Same hash ⇒ same term/ID mapping: drop this file's private
+		// dictionary copy and rehydrate the shard's indexes onto the
+		// shared one (an O(n) validation pass, no re-sorting).
+		rebased, err := store.Rehydrate(set.dict,
+			[3][]store.EncTriple{st.Index(store.OrderSPO), st.Index(store.OrderPOS), st.Index(store.OrderOSP)},
+			st.PredStats())
+		if err != nil {
+			return nil, fmt.Errorf("shard: rebasing %s: %w", name, err)
+		}
+		set.shards[i] = rebased
+	}
+	return set, nil
+}
+
+// Shards returns the shard count.
+func (s *Set) Shards() int { return len(s.shards) }
+
+// Shard returns shard i's frozen store.
+func (s *Set) Shard(i int) *store.Store { return s.shards[i] }
+
+// Dict returns the shared global dictionary.
+func (s *Set) Dict() *store.Dict { return s.dict }
+
+// Partitioner returns the set's placement function.
+func (s *Set) Partitioner() Partitioner { return s.parts }
+
+// Len returns the total triple count across shards.
+func (s *Set) Len() int {
+	n := 0
+	if s.live != nil {
+		for _, lv := range s.live {
+			n += lv.Len()
+		}
+		return n
+	}
+	for _, st := range s.shards {
+		n += st.Len()
+	}
+	return n
+}
+
+// Reader returns a scatter-gather view over the frozen shards. With
+// updates enabled, use Snapshot instead — Reader would bypass the
+// deltas.
+func (s *Set) Reader() *Reader {
+	srcs := make([]Source, len(s.shards))
+	for i, st := range s.shards {
+		srcs[i] = st
+	}
+	return newReader(s.parts, s.dict, srcs)
+}
+
+// EnableUpdates wraps every shard in a generational MVCC store so the
+// set accepts Apply batches. The frozen shard stores are handed over to
+// the MVCC layer (which freezes them defensively) and must not be used
+// directly afterwards.
+func (s *Set) EnableUpdates(policy mvcc.MergePolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.live != nil {
+		return
+	}
+	s.live = make([]*mvcc.Store, len(s.shards))
+	for i, st := range s.shards {
+		s.live[i] = mvcc.New(st, policy)
+	}
+}
+
+// Apply routes one insert batch to the owning shards and commits the
+// per-shard sub-batches. The full batch vocabulary is broadcast to
+// every shard in first-appearance order, so the delta dictionary
+// extensions stay identical across shards — the update-path half of the
+// global dictionary contract (see mvcc.ApplyWithVocab). The set-level
+// lock makes the cross-shard batch atomic with respect to Snapshot.
+//
+// sp2b:mutates-store commits routed sub-batches to the per-shard MVCC stores under s.mu
+func (s *Set) Apply(batch []rdf.Triple) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.live == nil {
+		return 0
+	}
+	var vocab []rdf.Term
+	seen := map[rdf.Term]bool{}
+	note := func(t rdf.Term) {
+		if !seen[t] {
+			seen[t] = true
+			vocab = append(vocab, t)
+		}
+	}
+	routed := make([][]rdf.Triple, len(s.live))
+	for _, t := range batch {
+		note(t.S)
+		note(t.P)
+		note(t.O)
+		sh := s.parts.ShardOf(t.S)
+		routed[sh] = append(routed[sh], t)
+	}
+	added := 0
+	for i, lv := range s.live {
+		added += lv.ApplyWithVocab(routed[i], vocab)
+	}
+	return added
+}
+
+// Snapshot pins one consistent dataset version per shard and returns a
+// scatter-gather Reader over them, plus a release function. The
+// set-level lock orders acquisition against Apply: a snapshot sees
+// every batch entirely or not at all, across all shards.
+func (s *Set) Snapshot() (*Reader, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.live == nil {
+		r := s.Reader()
+		return r, func() {}
+	}
+	snaps := make([]*mvcc.Snapshot, len(s.live))
+	srcs := make([]Source, len(s.live))
+	for i, lv := range s.live {
+		snaps[i] = lv.Snapshot()
+		srcs[i] = snaps[i]
+	}
+	// Every shard interned the same vocabulary sequence, so shard 0's
+	// layered dictionary resolves every ID any shard's rows can carry.
+	r := newReader(s.parts, snaps[0].TermDict(), srcs)
+	return r, func() {
+		for _, sn := range snaps {
+			sn.Close()
+		}
+	}
+}
+
+// MergeNow synchronously compacts every shard's delta (tests and tools;
+// the serving path merges in the background).
+func (s *Set) MergeNow() {
+	s.mu.Lock()
+	live := s.live
+	s.mu.Unlock()
+	for _, lv := range live {
+		lv.MergeNow()
+	}
+}
+
+// Close stops the per-shard background mergers.
+func (s *Set) Close() {
+	s.mu.Lock()
+	live := s.live
+	s.mu.Unlock()
+	for _, lv := range live {
+		lv.Close()
+	}
+}

@@ -1,0 +1,171 @@
+package shard_test
+
+import (
+	"sort"
+	"testing"
+
+	"sp2bench/internal/mvcc"
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/shard"
+	"sp2bench/internal/store"
+	"sp2bench/internal/store/readertest"
+)
+
+func buildStore(t *testing.T, triples []rdf.Triple) *store.Store {
+	t.Helper()
+	st := store.New()
+	for _, tr := range triples {
+		st.Add(tr)
+	}
+	return st
+}
+
+// decode renders a reader's dataset as sorted N-Triples-ish strings so
+// datasets with different dictionaries compare by content.
+func decode(r store.Reader) []string {
+	dict := r.TermDict()
+	rows := r.Triples()
+	out := make([]string, 0, len(rows))
+	for _, row := range rows {
+		out = append(out, dict.Term(row[0]).String()+" "+dict.Term(row[1]).String()+" "+dict.Term(row[2]).String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameDataset(t *testing.T, got, want store.Reader) {
+	t.Helper()
+	g, w := decode(got), decode(want)
+	if len(g) != len(w) {
+		t.Fatalf("dataset sizes differ: got %d triples, want %d", len(g), len(w))
+	}
+	for i := range g {
+		if g[i] != w[i] {
+			t.Fatalf("datasets differ at row %d:\n  got  %s\n  want %s", i, g[i], w[i])
+		}
+	}
+}
+
+func TestSplitPartitionsDataset(t *testing.T) {
+	triples := readertest.Fixture()
+	set, stats, err := shard.Split(buildStore(t, triples), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Shards() != 4 {
+		t.Fatalf("Shards() = %d", set.Shards())
+	}
+	if set.Len() != len(triples) {
+		t.Fatalf("Len() = %d, want %d", set.Len(), len(triples))
+	}
+	total, subjects := 0, 0
+	for _, sh := range stats.Shards {
+		total += sh.Triples
+		subjects += sh.Subjects
+	}
+	if total != len(triples) {
+		t.Fatalf("RouteStats triples sum = %d, want %d", total, len(triples))
+	}
+	if subjects == 0 || stats.MaxSkew() < 1 {
+		t.Fatalf("implausible RouteStats: %+v", stats)
+	}
+	if len(stats.PredicateSpread) == 0 {
+		t.Fatal("PredicateSpread is empty")
+	}
+	// Every triple must live on the shard its subject hashes to.
+	parts := set.Partitioner()
+	dict := set.Dict()
+	for i := 0; i < set.Shards(); i++ {
+		for _, row := range set.Shard(i).Triples() {
+			if want := parts.ShardOf(dict.Term(row[0])); want != i {
+				t.Fatalf("triple %v on shard %d, subject hashes to %d", row, i, want)
+			}
+		}
+	}
+	oracle := buildStore(t, triples)
+	oracle.Freeze()
+	sameDataset(t, set.Reader(), oracle)
+}
+
+func TestWriteDirOpenRoundTrip(t *testing.T) {
+	triples := readertest.Fixture()
+	set, _, err := shard.Split(buildStore(t, triples), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := set.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := shard.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Shards() != 3 || got.Len() != len(triples) {
+		t.Fatalf("opened set: %d shards, %d triples", got.Shards(), got.Len())
+	}
+	sameDataset(t, got.Reader(), set.Reader())
+}
+
+// The update path's half of the dictionary contract: batches routed to
+// different shards must leave every shard's extension dictionary
+// identical, even when a shard's routed sub-batch is empty. The
+// observable is dataset agreement with a single-store oracle — the
+// gather merges raw IDs, so any divergence shows up as wrong rows.
+func TestApplyKeepsShardDictionariesAligned(t *testing.T) {
+	triples := readertest.Fixture()
+	cut := len(triples) - 20
+	base, delta := triples[:cut], triples[cut:]
+
+	set, _, err := shard.Split(buildStore(t, base), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.EnableUpdates(mvcc.MergePolicy{Disabled: true})
+	defer set.Close()
+
+	oracle := mvcc.New(buildStore(t, base), mvcc.MergePolicy{Disabled: true})
+	defer oracle.Close()
+
+	// Three waves: one whose triples all route to a single subject's
+	// shard (other shards see a vocab-only publication), one reusing
+	// those terms from other shards, one all-new. Every wave must keep
+	// the sharded view identical to the oracle.
+	ns := "http://example.org/new/"
+	waves := [][]rdf.Triple{
+		{
+			{S: rdf.IRI(ns + "s0"), P: rdf.IRI(ns + "p"), O: rdf.Literal("v0")},
+			{S: rdf.IRI(ns + "s0"), P: rdf.IRI(ns + "p"), O: rdf.Literal("v1")},
+		},
+		{
+			{S: rdf.IRI(ns + "s1"), P: rdf.IRI(ns + "p"), O: rdf.Literal("v0")},
+			{S: rdf.IRI(ns + "s2"), P: rdf.IRI(ns + "p"), O: rdf.Literal("v1")},
+			{S: rdf.IRI(ns + "s3"), P: rdf.IRI(ns + "p"), O: rdf.Literal("v2")},
+		},
+		delta,
+	}
+	for i, wave := range waves {
+		gotN := set.Apply(wave)
+		wantN := oracle.Apply(wave)
+		if gotN != wantN {
+			t.Fatalf("wave %d: Apply inserted %d, oracle %d", i, gotN, wantN)
+		}
+		r, release := set.Snapshot()
+		osn := oracle.Snapshot()
+		sameDataset(t, r, osn)
+		osn.Close()
+		release()
+	}
+	// Re-applying everything must be a no-op on both sides.
+	for _, wave := range waves {
+		if n := set.Apply(wave); n != 0 {
+			t.Fatalf("re-apply inserted %d triples", n)
+		}
+	}
+}
+
+func TestOpenRejectsForeignManifest(t *testing.T) {
+	if _, err := shard.Open(t.TempDir()); err == nil {
+		t.Fatal("Open of an empty directory succeeded")
+	}
+}

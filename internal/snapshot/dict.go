@@ -1,0 +1,44 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"sp2bench/internal/rdf"
+)
+
+// WriteDict serializes a bare term sequence — the dictionary section of
+// the snapshot format without the surrounding container. It is the wire
+// format of a shard server's /shard/dict endpoint: a coordinator
+// rebuilds the global dictionary from any one shard (every shard file
+// embeds the full vocabulary) and verifies it against the DictHash the
+// shards advertise.
+//
+// Layout: uvarint term count, then the front-coded term records of the
+// snapshot dictionary section. Integrity is the transport's problem
+// (HTTP), not this codec's — unlike snapshot files there is no CRC.
+func WriteDict(w io.Writer, terms []rdf.Term) error {
+	payload, err := encodeDict(terms)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(binary.AppendUvarint(nil, uint64(len(terms)))); err != nil {
+		return err
+	}
+	_, err = w.Write(payload)
+	return err
+}
+
+// ReadDict decodes a term sequence written by WriteDict.
+func ReadDict(r io.Reader) ([]rdf.Term, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	count, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, fmt.Errorf("snapshot: malformed dictionary header")
+	}
+	return decodeDict(b[n:], count)
+}

@@ -1,0 +1,346 @@
+// Package readertest is the reusable conformance suite for
+// store.Reader implementations. Every layer that offers the engine a
+// triple source — the frozen store itself, an MVCC snapshot layering a
+// delta over a base generation, a scatter-gather shard reader — must
+// present ranges with identical ordering, narrowing, and bulk-copy
+// semantics, or merge joins and the vectorized scan silently produce
+// wrong answers. The suite pins those semantics once so each
+// implementation's tests are one call:
+//
+//	readertest.Run(t, func(t *testing.T, triples []rdf.Triple) store.Reader { ... })
+package readertest
+
+import (
+	"fmt"
+	"testing"
+
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/store"
+)
+
+// Fixture returns the deterministic dataset the suite runs over: a few
+// hundred triples shaped like the benchmark's data — star-shaped
+// subjects, predicates of very different cardinalities, objects shared
+// across subjects, typed and language-tagged literals — so range
+// narrowing and statistics have something non-trivial to get wrong.
+func Fixture() []rdf.Triple {
+	const ns = "http://example.org/"
+	var out []rdf.Triple
+	add := func(s, p string, o rdf.Term) {
+		out = append(out, rdf.Triple{S: rdf.IRI(ns + s), P: rdf.IRI(ns + p), O: o})
+	}
+	for i := 0; i < 40; i++ {
+		doc := fmt.Sprintf("doc%02d", i)
+		add(doc, "type", rdf.IRI(ns+"Article"))
+		add(doc, "year", rdf.TypedLiteral(fmt.Sprintf("%d", 1990+i%12), "http://www.w3.org/2001/XMLSchema#integer"))
+		add(doc, "title", rdf.LangLiteral(fmt.Sprintf("Title %02d", i), "en"))
+		// creators overlap across documents: objects shared by subjects
+		add(doc, "creator", rdf.IRI(ns+fmt.Sprintf("person%d", i%7)))
+		if i%2 == 0 {
+			add(doc, "creator", rdf.IRI(ns+fmt.Sprintf("person%d", (i+3)%7)))
+		}
+		if i%5 == 0 {
+			add(doc, "cites", rdf.IRI(ns+fmt.Sprintf("doc%02d", (i+1)%40)))
+		}
+	}
+	for i := 0; i < 7; i++ {
+		p := fmt.Sprintf("person%d", i)
+		add(p, "type", rdf.IRI(ns+"Person"))
+		add(p, "name", rdf.Literal(fmt.Sprintf("Person %d", i)))
+	}
+	// one blank-node subject, and a rare predicate held by one subject
+	out = append(out, rdf.Triple{S: rdf.Blank("b0"), P: rdf.IRI(ns + "note"), O: rdf.Literal("draft")})
+	return out
+}
+
+// Open builds the Reader under test from the fixture triples. The
+// implementation may intern terms in any order; the suite resolves IDs
+// through the Reader's own dictionary.
+type Open func(t *testing.T, triples []rdf.Triple) store.Reader
+
+// Run exercises one store.Reader implementation against the full suite.
+func Run(t *testing.T, open Open) {
+	triples := Fixture()
+	r := open(t, triples)
+	if r.Len() != len(triples) {
+		t.Fatalf("Len() = %d, fixture has %d distinct triples", r.Len(), len(triples))
+	}
+	enc, ids := encodeFixture(t, r, triples)
+	pats := patterns(ids)
+
+	t.Run("TriplesSPO", func(t *testing.T) { checkTriples(t, r, enc) })
+	t.Run("RangeOrder", func(t *testing.T) { checkRanges(t, r, enc, pats) })
+	t.Run("Narrowing", func(t *testing.T) { checkNarrowing(t, r, enc, pats) })
+	t.Run("CopyColumns", func(t *testing.T) { checkCopyColumns(t, r, pats) })
+	t.Run("Count", func(t *testing.T) { checkCounts(t, r, enc, pats) })
+	t.Run("Stats", func(t *testing.T) { checkStats(t, r, enc) })
+}
+
+// encodeFixture resolves the fixture through the reader's dictionary
+// and returns the expected encoded dataset (sorted SPO, deduplicated)
+// plus a grab-bag of interesting IDs for pattern construction.
+func encodeFixture(t *testing.T, r store.Reader, triples []rdf.Triple) ([]store.EncTriple, map[string]store.ID) {
+	t.Helper()
+	dict := r.TermDict()
+	lookup := func(term rdf.Term) store.ID {
+		id, ok := dict.Lookup(term)
+		if !ok {
+			t.Fatalf("dictionary is missing fixture term %v", term)
+		}
+		return id
+	}
+	enc := make([]store.EncTriple, 0, len(triples))
+	for _, tr := range triples {
+		enc = append(enc, store.EncTriple{lookup(tr.S), lookup(tr.P), lookup(tr.O)})
+	}
+	store.SortEncTriples(enc)
+
+	const ns = "http://example.org/"
+	ids := map[string]store.ID{
+		"type":    lookup(rdf.IRI(ns + "type")),
+		"creator": lookup(rdf.IRI(ns + "creator")),
+		"note":    lookup(rdf.IRI(ns + "note")),
+		"Article": lookup(rdf.IRI(ns + "Article")),
+		"person3": lookup(rdf.IRI(ns + "person3")),
+		"doc00":   lookup(rdf.IRI(ns + "doc00")),
+	}
+	return enc, ids
+}
+
+// patterns is the matrix of triple patterns the suite probes: every
+// binding shape, including ones whose bound components cannot form an
+// index prefix and must be narrowed through residual filters.
+func patterns(ids map[string]store.ID) [][3]store.ID {
+	n := store.NoID
+	return [][3]store.ID{
+		{n, n, n},
+		{ids["doc00"], n, n},
+		{n, ids["type"], n},
+		{n, ids["creator"], n},
+		{n, ids["note"], n},
+		{n, n, ids["Article"]},
+		{n, n, ids["person3"]},
+		{ids["doc00"], ids["type"], n},
+		{ids["doc00"], n, ids["Article"]}, // S?O: object is residual in every order
+		{n, ids["type"], ids["Article"]},
+		{ids["doc00"], ids["type"], ids["Article"]},
+		{ids["doc00"], ids["type"], ids["person3"]}, // no match
+	}
+}
+
+func bruteMatch(enc []store.EncTriple, p [3]store.ID) []store.EncTriple {
+	var out []store.EncTriple
+	for _, t := range enc {
+		if (p[0] == store.NoID || t[0] == p[0]) &&
+			(p[1] == store.NoID || t[1] == p[1]) &&
+			(p[2] == store.NoID || t[2] == p[2]) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func checkTriples(t *testing.T, r store.Reader, enc []store.EncTriple) {
+	got := r.Triples()
+	if len(got) != len(enc) {
+		t.Fatalf("Triples() returned %d rows, want %d", len(got), len(enc))
+	}
+	for i := range got {
+		if got[i] != enc[i] {
+			t.Fatalf("Triples()[%d] = %v, want %v (must be sorted SPO)", i, got[i], enc[i])
+		}
+	}
+}
+
+// checkRanges verifies, for every pattern under every index ordering:
+// rows strictly ascending in index component order, lead components
+// equal to the pattern's bound prefix, and the filtered row set equal
+// to a brute-force scan.
+func checkRanges(t *testing.T, r store.Reader, enc []store.EncTriple, pats [][3]store.ID) {
+	for _, p := range pats {
+		want := bruteMatch(enc, p)
+		for _, ord := range []store.Order{store.OrderSPO, store.OrderPOS, store.OrderOSP} {
+			rng := r.RangeIn(ord, p[0], p[1], p[2])
+			if rng.Ord != ord {
+				t.Errorf("RangeIn(%v, %v): Ord = %v", ord, p, rng.Ord)
+			}
+			key := ord.Permute(store.EncTriple{p[0], p[1], p[2]})
+			prefix := 0
+			for prefix < 3 && key[prefix] != store.NoID {
+				prefix++
+			}
+			if rng.Lead > 3 || rng.Lead < 0 {
+				t.Fatalf("RangeIn(%v, %v): Lead = %d out of range", ord, p, rng.Lead)
+			}
+			// Lead may exceed the pattern's bound prefix only if the rows
+			// really do share the longer constant prefix; it must never
+			// claim less than the bound prefix.
+			if rng.Lead < prefix {
+				t.Errorf("RangeIn(%v, %v): Lead = %d < bound prefix %d", ord, p, rng.Lead, prefix)
+			}
+			for i := 0; i < prefix; i++ {
+				for _, row := range rng.Rows {
+					if row[i] != key[i] {
+						t.Fatalf("RangeIn(%v, %v): row %v violates lead component %d = %d", ord, p, row, i, key[i])
+					}
+				}
+			}
+			prev := store.EncTriple{}
+			first := true
+			got := make([]store.EncTriple, 0, len(want))
+			it := rng.Iterator()
+			for {
+				row, ok := it.Next()
+				if !ok {
+					break
+				}
+				got = append(got, row)
+			}
+			for _, row := range rng.Rows {
+				if !first && store.CompareEnc(prev, row) >= 0 {
+					t.Fatalf("RangeIn(%v, %v): rows not strictly ascending: %v then %v", ord, p, prev, row)
+				}
+				prev, first = row, false
+			}
+			if len(got) != len(want) {
+				t.Fatalf("RangeIn(%v, %v): %d matching rows, want %d", ord, p, len(got), len(want))
+			}
+			seen := map[store.EncTriple]bool{}
+			for _, row := range got {
+				seen[row] = true
+			}
+			for _, w := range want {
+				if !seen[w] {
+					t.Fatalf("RangeIn(%v, %v): missing row %v", ord, p, w)
+				}
+			}
+		}
+	}
+}
+
+// checkNarrowing pins the residual-filter contract: bound components
+// past the index prefix appear in Filt (or are already folded into a
+// dense range), and iterating the range yields only matching rows.
+func checkNarrowing(t *testing.T, r store.Reader, enc []store.EncTriple, pats [][3]store.ID) {
+	for _, p := range pats {
+		for _, ord := range []store.Order{store.OrderSPO, store.OrderPOS, store.OrderOSP} {
+			rng := r.RangeIn(ord, p[0], p[1], p[2])
+			it := rng.Iterator()
+			for {
+				row, ok := it.Next()
+				if !ok {
+					break
+				}
+				if (p[0] != store.NoID && row[0] != p[0]) ||
+					(p[1] != store.NoID && row[1] != p[1]) ||
+					(p[2] != store.NoID && row[2] != p[2]) {
+					t.Fatalf("RangeIn(%v, %v): iterator yielded non-matching row %v", ord, p, row)
+				}
+			}
+		}
+		// Iterate (reader-chosen order) must agree with brute force too.
+		want := bruteMatch(enc, p)
+		n := 0
+		it := r.Iterate(p[0], p[1], p[2])
+		for {
+			_, ok := it.Next()
+			if !ok {
+				break
+			}
+			n++
+		}
+		if n != len(want) {
+			t.Fatalf("Iterate(%v): %d rows, want %d", p, n, len(want))
+		}
+	}
+}
+
+// checkCopyColumns verifies the bulk path agrees with the iterator for
+// every pattern and ordering, resuming across deliberately odd-sized
+// chunks exactly as the vectorized scan does.
+func checkCopyColumns(t *testing.T, r store.Reader, pats [][3]store.ID) {
+	const chunk = 7
+	for _, p := range pats {
+		for _, ord := range []store.Order{store.OrderSPO, store.OrderPOS, store.OrderOSP} {
+			rng := r.RangeIn(ord, p[0], p[1], p[2])
+			var want []store.EncTriple
+			it := rng.Iterator()
+			for {
+				row, ok := it.Next()
+				if !ok {
+					break
+				}
+				want = append(want, row)
+			}
+			var got []store.EncTriple
+			s := make([]store.ID, chunk)
+			pp := make([]store.ID, chunk)
+			o := make([]store.ID, chunk)
+			for start := 0; start < len(rng.Rows); {
+				written, consumed := rng.CopyColumns(start, chunk, s, pp, o)
+				if consumed == 0 {
+					break
+				}
+				for i := 0; i < written; i++ {
+					got = append(got, store.EncTriple{s[i], pp[i], o[i]})
+				}
+				start += consumed
+			}
+			if len(got) != len(want) {
+				t.Fatalf("CopyColumns(%v, %v): %d rows, want %d", ord, p, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("CopyColumns(%v, %v): row %d = %v, want %v", ord, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func checkCounts(t *testing.T, r store.Reader, enc []store.EncTriple, pats [][3]store.ID) {
+	for _, p := range pats {
+		if got, want := r.Count(p[0], p[1], p[2]), len(bruteMatch(enc, p)); got != want {
+			t.Errorf("Count(%v) = %d, want %d", p, got, want)
+		}
+	}
+}
+
+// checkStats checks the optimizer statistics against exact values
+// computed from the dataset. The Reader contract says estimates, not
+// contracts, so distinct counts only need to land within sane bounds;
+// per-predicate cardinalities must be exact (every implementation
+// derives them from real counts).
+func checkStats(t *testing.T, r store.Reader, enc []store.EncTriple) {
+	predCount := map[store.ID]int{}
+	for _, tr := range enc {
+		predCount[tr[1]]++
+	}
+	// Per-predicate cardinalities are exact in every implementation
+	// (base and delta counts add; shard counts partition). Distinct
+	// counts are estimates — implementations may under- or over-count
+	// (an MVCC snapshot approximates from its base generation, a shard
+	// gather sums per-shard counts) — so they only need sane bounds:
+	// positive when the predicate exists, never above the matching
+	// triple count.
+	for p, want := range predCount {
+		if got := r.PredCardinality(p); got != want {
+			t.Errorf("PredCardinality(%d) = %d, want %d", p, got, want)
+		}
+		if got := r.DistinctSubjects(p); got < 1 || got > want {
+			t.Errorf("DistinctSubjects(%d) = %d, want within [1, %d]", p, got, want)
+		}
+		if got := r.DistinctObjects(p); got < 1 || got > want {
+			t.Errorf("DistinctObjects(%d) = %d, want within [1, %d]", p, got, want)
+		}
+	}
+	if got := r.TotalDistinctSubjects(); got < 1 || got > len(enc) {
+		t.Errorf("TotalDistinctSubjects() = %d, want within [1, %d]", got, len(enc))
+	}
+	if got := r.TotalDistinctObjects(); got < 1 || got > len(enc) {
+		t.Errorf("TotalDistinctObjects() = %d, want within [1, %d]", got, len(enc))
+	}
+	if got := r.DistinctPredicates(); got < 1 || got > len(predCount) {
+		t.Errorf("DistinctPredicates() = %d, want within [1, %d]", got, len(predCount))
+	}
+}

@@ -1,0 +1,22 @@
+package store_test
+
+import (
+	"testing"
+
+	"sp2bench/internal/rdf"
+	"sp2bench/internal/store"
+	"sp2bench/internal/store/readertest"
+)
+
+// The frozen store is the reference store.Reader; the conformance suite
+// must hold for it by construction.
+func TestStoreReaderConformance(t *testing.T) {
+	readertest.Run(t, func(t *testing.T, triples []rdf.Triple) store.Reader {
+		st := store.New()
+		for _, tr := range triples {
+			st.Add(tr)
+		}
+		st.Freeze()
+		return st
+	})
+}
